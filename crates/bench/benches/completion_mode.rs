@@ -1,0 +1,59 @@
+//! **Ablation A2** — interrupt versus polling completion.
+//!
+//! The paper's interface provides both: the IE bit enables the
+//! interrupt; without it the CPU polls the D bit. Polling costs bus
+//! bandwidth (contention with the OCP's own DMA) and adds detection
+//! latency of up to one polling interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouessant_bench::print_once;
+use ouessant_soc::app::{dft_experiment, ExperimentConfig};
+use ouessant_soc::soc::{CompletionMode, SocConfig};
+
+fn config_with_completion(completion: CompletionMode) -> ExperimentConfig {
+    let base = ExperimentConfig::paper_baremetal();
+    ExperimentConfig {
+        soc: SocConfig {
+            completion,
+            ..base.soc
+        },
+        ..base
+    }
+}
+
+fn print_table() {
+    print_once(
+        "Completion signalling on the 256-pt DFT offload (baremetal)",
+        || {
+            println!("{:<22} {:>12}", "mode", "machine cyc");
+            let modes: [(&str, CompletionMode); 4] = [
+                ("interrupt", CompletionMode::Interrupt),
+                ("poll every 16", CompletionMode::Polling { interval: 16 }),
+                ("poll every 128", CompletionMode::Polling { interval: 128 }),
+                ("poll every 1024", CompletionMode::Polling { interval: 1024 }),
+            ];
+            for (name, mode) in modes {
+                let row = dft_experiment(&config_with_completion(mode)).expect("dft experiment");
+                println!("{name:<22} {:>12}", row.machine_cycles);
+            }
+        },
+    );
+}
+
+fn bench_completion(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("completion_mode");
+    group.sample_size(10);
+    group.bench_function("interrupt", |b| {
+        let config = config_with_completion(CompletionMode::Interrupt);
+        b.iter(|| dft_experiment(&config).expect("dft experiment"));
+    });
+    group.bench_function("polling_16", |b| {
+        let config = config_with_completion(CompletionMode::Polling { interval: 16 });
+        b.iter(|| dft_experiment(&config).expect("dft experiment"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Ablation A5** — gain versus DFT size.
+//!
+//! The paper evaluates only N = 256 ("limited to the available FPGA
+//! size") but the Spiral core "can be configured to accept different
+//! DFT size". Sweeping N shows where hardware offload starts paying:
+//! the software FFT is O(N log N) in *soft-float* operations while the
+//! offload cost is dominated by transfers (O(N)) plus a fixed overhead,
+//! so the gain grows with N and the crossover sits at small sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ouessant_bench::print_once;
+use ouessant_soc::app::{dft_experiment, ExperimentConfig};
+
+const SIZES: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+fn config_with_points(points: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        dft_points: points,
+        // Burst must not exceed the transfer size for tiny DFTs.
+        burst: 64.min((points * 2) as u16),
+        ..ExperimentConfig::paper_linux()
+    }
+}
+
+fn print_table() {
+    print_once("DFT offload gain vs transform size (Linux/mmap) — paper: 85 at N=256", || {
+        println!(
+            "{:>6} {:>8} {:>10} {:>10} {:>8}",
+            "N", "Lat.", "HW", "SW", "Gain"
+        );
+        for n in SIZES {
+            let row = dft_experiment(&config_with_points(n)).expect("dft experiment");
+            println!(
+                "{n:>6} {:>8} {:>10} {:>10} {:>8.2}",
+                row.latency, row.hw_cycles, row.sw_cycles, row.gain
+            );
+        }
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("dft_scaling");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = config_with_points(n);
+            b.iter(|| dft_experiment(&config).expect("dft experiment"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! **Figure 2** — variable-width serializing/deserializing FIFOs.
+//!
+//! The figure shows 32-bit bus words deserialized into 96-bit
+//! accelerator operands and back. This bench exercises the width
+//! adapters at several widths (throughput of the conversion machinery)
+//! and prints the word-count bookkeeping that makes the 32 ↔ 96
+//! arrangement work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ouessant_bench::print_once;
+use ouessant_sim::WidthAdapter;
+
+fn pump(in_width: u32, out_width: u32, words: usize) -> usize {
+    let mut adapter = WidthAdapter::new("bench", in_width, out_width, 8192);
+    let mut out_count = 0;
+    for i in 0..words {
+        if adapter.is_full() {
+            while let Some(_w) = adapter.pop() {
+                out_count += 1;
+            }
+        }
+        adapter.push(i as u128).expect("drained when full");
+    }
+    while let Some(_w) = adapter.pop() {
+        out_count += 1;
+    }
+    out_count
+}
+
+fn print_table() {
+    print_once("Figure 2: 32 ↔ 96-bit serializing FIFO bookkeeping", || {
+        println!("{:>8} {:>8} {:>10} {:>10}", "in", "out", "pushed", "popped");
+        for (iw, ow) in [(32u32, 96u32), (96, 32), (32, 32), (8, 24), (32, 128)] {
+            let popped = pump(iw, ow, 384);
+            println!("{iw:>8} {ow:>8} {:>10} {popped:>10}", 384);
+        }
+    });
+}
+
+fn bench_fifo_width(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fifo_width");
+    for (iw, ow) in [(32u32, 96u32), (96, 32), (32, 32)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{iw}to{ow}")),
+            &(iw, ow),
+            |b, &(iw, ow)| {
+                b.iter(|| pump(iw, ow, 3 * 1024));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fifo_width);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! **§V-B in-text result + Ablation A3** — OS overhead and driver
+//! strategy.
+//!
+//! Paper: "When running it without Linux, the DFT took 4000 cycles to
+//! compute, which gives an overhead of 3000 cycles coming from Linux.
+//! This comes from system calls." §IV argues for the mmap (zero-copy)
+//! driver over a copying one; the ablation quantifies that choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouessant_bench::print_once;
+use ouessant_soc::app::{dft_experiment, ExperimentConfig};
+use ouessant_soc::os::OsModel;
+
+fn config_with_os(os: OsModel) -> ExperimentConfig {
+    ExperimentConfig {
+        os,
+        ..ExperimentConfig::paper_linux()
+    }
+}
+
+fn print_table() {
+    print_once(
+        "OS / driver overhead on the 256-pt DFT offload — paper: baremetal 4000, Linux 7000",
+        || {
+            println!(
+                "{:<24} {:>10} {:>10} {:>10}",
+                "environment", "machine", "overhead", "HW total"
+            );
+            for os in [OsModel::Baremetal, OsModel::linux_mmap(), OsModel::linux_copy()] {
+                let row = dft_experiment(&config_with_os(os)).expect("dft experiment");
+                println!(
+                    "{:<24} {:>10} {:>10} {:>10}",
+                    os.to_string(),
+                    row.machine_cycles,
+                    row.os_overhead,
+                    row.hw_cycles
+                );
+            }
+        },
+    );
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("linux_overhead");
+    group.sample_size(10);
+    group.bench_function("baremetal", |b| {
+        let config = config_with_os(OsModel::Baremetal);
+        b.iter(|| dft_experiment(&config).expect("dft experiment"));
+    });
+    group.bench_function("linux_mmap", |b| {
+        let config = config_with_os(OsModel::linux_mmap());
+        b.iter(|| dft_experiment(&config).expect("dft experiment"));
+    });
+    group.bench_function("linux_copy", |b| {
+        let config = config_with_os(OsModel::linux_copy());
+        b.iter(|| dft_experiment(&config).expect("dft experiment"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

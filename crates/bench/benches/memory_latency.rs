@@ -1,0 +1,61 @@
+//! **Ablation A4** — sensitivity to memory wait states.
+//!
+//! The paper's ≈1.5 cycles/word depends on the Nexys4's external SRAM
+//! timing. This ablation sweeps the SRAM's first-access wait states to
+//! show how the transfer efficiency (and with it the whole HW column)
+//! degrades on slower memories — the motivation for burst transfers in
+//! the first place.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ouessant_bench::print_once;
+use ouessant_sim::memory::SramConfig;
+use ouessant_soc::app::{transfer_experiment, ExperimentConfig};
+use ouessant_soc::soc::SocConfig;
+
+fn config_with_sram(first: u32, sequential: u32) -> ExperimentConfig {
+    let base = ExperimentConfig::paper_baremetal();
+    ExperimentConfig {
+        soc: SocConfig {
+            sram: SramConfig {
+                first_access_wait_states: first,
+                sequential_wait_states: sequential,
+            },
+            ..base.soc
+        },
+        ..base
+    }
+}
+
+fn print_table() {
+    print_once("Transfer efficiency vs SRAM wait states (DMA64, 1024 words)", || {
+        println!(
+            "{:>10} {:>10} {:>12} {:>10}",
+            "first ws", "seq ws", "cycles", "cy/word"
+        );
+        for (first, seq) in [(0, 0), (1, 0), (3, 0), (7, 0), (3, 1), (3, 3)] {
+            let r = transfer_experiment(&config_with_sram(first, seq), 512)
+                .expect("transfer experiment");
+            println!(
+                "{first:>10} {seq:>10} {:>12} {:>10.3}",
+                r.machine_cycles,
+                r.cycles_per_word()
+            );
+        }
+    });
+}
+
+fn bench_memory_latency(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("memory_latency");
+    group.sample_size(10);
+    for first in [0u32, 3, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(first), &first, |b, &first| {
+            let config = config_with_sram(first, 0);
+            b.iter(|| transfer_experiment(&config, 512).expect("transfer experiment"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory_latency);
+criterion_main!(benches);

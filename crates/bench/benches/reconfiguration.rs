@@ -1,0 +1,96 @@
+//! **Ablation A6** — dynamic partial reconfiguration (§VI work in
+//! progress).
+//!
+//! One reconfigurable region hosting several accelerators saves area
+//! (see `dpr_region_estimate`) but charges a bitstream-load latency on
+//! every swap. The ablation sweeps the batch size between swaps to show
+//! the amortization curve, and prints the area trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ouessant_bench::print_once;
+use ouessant_isa::ProgramBuilder;
+use ouessant_rac::passthrough::PassthroughRac;
+use ouessant_rac::slot::ReconfigurableSlot;
+use ouessant_resources::{dpr_region_estimate, rac_estimate, RacKind};
+use ouessant_soc::soc::{Soc, SocConfig};
+
+const BITSTREAM_BYTES: u64 = 32 * 1024; // 8192-cycle swap latency
+
+fn slot() -> ReconfigurableSlot {
+    ReconfigurableSlot::new()
+        .with_config(Box::new(PassthroughRac::new(0)), BITSTREAM_BYTES)
+        .with_config(Box::new(PassthroughRac::scaling(3, 0)), BITSTREAM_BYTES)
+}
+
+/// Processes `phases` alternating phases of `blocks_per_phase` 16-word
+/// blocks, reconfiguring between phases; returns total cycles.
+fn run_phases(phases: u16, blocks_per_phase: u16) -> u64 {
+    let mut b = ProgramBuilder::new();
+    for phase in 0..phases {
+        b = b.rcfg(phase % 2);
+        b = b.ldo(0, 0).expect("reg 0 valid");
+        b = b.ldo(1, 0).expect("reg 1 valid");
+        b = b.ldc(0, blocks_per_phase).expect("counter 0 valid");
+        let loop_top = b.here();
+        b = b.mvtcr(1, 0, 16, 0).expect("operands valid");
+        b = b.execs_op(16);
+        b = b.mvfcr(2, 1, 16, 0).expect("operands valid");
+        b = b.djnz(0, loop_top).expect("target valid");
+    }
+    let program = b.eop().finish().expect("valid program");
+
+    let mut soc = Soc::new(Box::new(slot()), SocConfig::default());
+    let ram = soc.config().ram_base;
+    soc.load_words(ram, &program.to_words()).unwrap();
+    let input: Vec<u32> = (0..u32::from(blocks_per_phase) * 16).collect();
+    soc.load_words(ram + 0x4000, &input).unwrap();
+    soc.configure(
+        &[(0, ram), (1, ram + 0x4000), (2, ram + 0x2_0000)],
+        program.len() as u32,
+    )
+    .unwrap();
+    soc.start_and_wait(100_000_000).unwrap().run_cycles
+}
+
+fn print_table() {
+    print_once("DPR ablation: swap amortization and area trade-off", || {
+        println!("area: two static regions vs one reconfigurable region");
+        let kinds = [RacKind::Idct, RacKind::SpiralDft { points: 256 }];
+        let sum = rac_estimate(kinds[0]) + rac_estimate(kinds[1]);
+        let region = dpr_region_estimate(&kinds);
+        println!("  static IDCT + DFT: {sum}");
+        println!("  DPR region (max):  {region}");
+        println!();
+        println!(
+            "{:>16} {:>12} {:>14}",
+            "blocks/phase", "cycles", "cy/block"
+        );
+        for blocks in [1u16, 2, 4, 8, 16] {
+            let cycles = run_phases(4, blocks);
+            println!(
+                "{blocks:>16} {cycles:>12} {:>14.1}",
+                cycles as f64 / f64::from(4 * blocks)
+            );
+        }
+        println!("(4 phases, one {BITSTREAM_BYTES}-byte bitstream load between phases)");
+    });
+}
+
+fn bench_reconfiguration(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("reconfiguration");
+    group.sample_size(10);
+    for blocks in [1u16, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(blocks),
+            &blocks,
+            |b, &blocks| {
+                b.iter(|| run_phases(4, blocks));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfiguration);
+criterion_main!(benches);

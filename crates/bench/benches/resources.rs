@@ -1,0 +1,75 @@
+//! **§V-A** — hardware footprint.
+//!
+//! Paper: "the actual OCP implementation consumes a reasonable amount
+//! of hardware resources (less than 1000 LUT and 750 FF). This is for
+//! all OCP related parts: interface, controller and FIFO control. FIFO
+//! memory is inferred as BRAM … IDCT and DFT gives similar results
+//! except for the FIFO size and the RAC."
+//!
+//! Prints the keep-hierarchy report for both evaluation accelerators
+//! and benchmarks the estimator itself (trivially fast — included so
+//! every experiment has a bench target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouessant_bench::print_once;
+use ouessant_resources::estimate::ocp_overhead;
+use ouessant_resources::{estimate_fmax, estimate_ocp, rac_estimate, Device, OcpParams, RacKind};
+
+fn params_for(kind: RacKind) -> OcpParams {
+    match kind {
+        RacKind::Idct => OcpParams {
+            fifo_depth_words: 64,
+            ..OcpParams::default()
+        },
+        RacKind::SpiralDft { .. } => OcpParams {
+            fifo_depth_words: 512,
+            ..OcpParams::default()
+        },
+        _ => OcpParams::default(),
+    }
+}
+
+fn print_report() {
+    print_once(
+        "§V-A: OCP hardware footprint (keep-hierarchy) — paper: <1000 LUT, <750 FF",
+        || {
+            let device = Device::artix7_100t();
+            for (name, kind) in [
+                ("IDCT", RacKind::Idct),
+                ("DFT-256", RacKind::SpiralDft { points: 256 }),
+            ] {
+                let params = params_for(kind);
+                let report = estimate_ocp(&params);
+                let overhead = ocp_overhead(&report);
+                let rac = rac_estimate(kind);
+                println!("--- OCP with {name} RAC ---");
+                println!("{report}");
+                println!("RAC ({name})             {rac}");
+                println!(
+                    "OCP overhead (interface+controller+fifo ctrl): {overhead}  → {}",
+                    device.utilization(overhead)
+                );
+                let timing = estimate_fmax(&params);
+                println!("{timing} (system clock: 50 MHz)");
+                println!();
+            }
+        },
+    );
+}
+
+fn bench_resources(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("resources");
+    group.bench_function("estimate_ocp", |b| {
+        let params = OcpParams::default();
+        b.iter(|| estimate_ocp(&params));
+    });
+    group.bench_function("estimate_fmax", |b| {
+        let params = OcpParams::default();
+        b.iter(|| estimate_fmax(&params));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resources);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! **Table I** — "Time results for OCP".
+//!
+//! Paper (Linux, 50 MHz):
+//!
+//! ```text
+//!        Lat.   HW     SW       Gain
+//! IDCT   18     3000   5000     1.67
+//! DFT    2485   7000   600·10³  85
+//! ```
+//!
+//! The bench prints the reproduced rows once, then lets criterion time
+//! the two full-system simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouessant_bench::print_once;
+use ouessant_soc::app::{dft_experiment, idct_experiment, ExperimentConfig};
+
+fn print_table() {
+    print_once("Table I: Time results for OCP (Linux, mmap driver)", || {
+        let config = ExperimentConfig::paper_linux();
+        println!("{:<6} {:>8} {:>10} {:>10} {:>8}   (paper: Lat/HW/SW/Gain)", "", "Lat.", "HW", "SW", "Gain");
+        let idct = idct_experiment(&config).expect("idct experiment");
+        println!(
+            "{:<6} {:>8} {:>10} {:>10} {:>8.2}   (18 / 3000 / 5000 / 1.67)",
+            idct.name, idct.latency, idct.hw_cycles, idct.sw_cycles, idct.gain
+        );
+        let dft = dft_experiment(&config).expect("dft experiment");
+        println!(
+            "{:<6} {:>8} {:>10} {:>10} {:>8.2}   (2485 / 7000 / 600000 / 85)",
+            dft.name, dft.latency, dft.hw_cycles, dft.sw_cycles, dft.gain
+        );
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_table();
+    let config = ExperimentConfig::paper_linux();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("idct_row", |b| {
+        b.iter(|| idct_experiment(&config).expect("idct experiment"));
+    });
+    group.bench_function("dft_row", |b| {
+        b.iter(|| dft_experiment(&config).expect("dft experiment"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! **§V-B in-text result + Ablation A1** — transfer efficiency.
+//!
+//! Paper: "we have roughly 1500 cycles needed for data transfer, and
+//! 1024 32-bits words to transfer. This means that around 1.5 cycles
+//! per word were required, which is quite a good result."
+//!
+//! The ablation sweeps the DMA burst length (the paper's microcode uses
+//! `DMA64`) to show why: short bursts re-pay arbitration and the
+//! SRAM's first-access wait states on every chunk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ouessant_bench::print_once;
+use ouessant_soc::app::{transfer_experiment, ExperimentConfig};
+
+const BURSTS: [u16; 6] = [8, 16, 32, 64, 128, 256];
+const WORDS_EACH_WAY: u32 = 512; // the DFT workload's transfer size
+
+fn config_with_burst(burst: u16) -> ExperimentConfig {
+    ExperimentConfig {
+        burst,
+        ..ExperimentConfig::paper_baremetal()
+    }
+}
+
+fn print_table() {
+    print_once(
+        "Transfer efficiency (cycles/word) vs DMA burst length — paper: ~1.5 cy/word at DMA64",
+        || {
+            println!("{:>8} {:>12} {:>12} {:>12}", "burst", "cycles", "words", "cy/word");
+            for burst in BURSTS {
+                let r = transfer_experiment(&config_with_burst(burst), WORDS_EACH_WAY)
+                    .expect("transfer experiment");
+                println!(
+                    "{:>8} {:>12} {:>12} {:>12.3}",
+                    format!("DMA{burst}"),
+                    r.machine_cycles,
+                    r.words,
+                    r.cycles_per_word()
+                );
+            }
+        },
+    );
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("transfer_efficiency");
+    group.sample_size(10);
+    for burst in [8u16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(burst), &burst, |b, &burst| {
+            let config = config_with_burst(burst);
+            b.iter(|| transfer_experiment(&config, WORDS_EACH_WAY).expect("transfer experiment"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Shared helpers for the Ouessant benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one table, figure or
+//! in-text result of the DATE 2016 paper (see DESIGN.md §4 for the
+//! experiment index). Criterion measures the *simulator's* wall time;
+//! the paper-facing output — simulated cycle counts and the derived
+//! rows — is printed once per bench via [`print_once`] so that
+//! `cargo bench` output doubles as the reproduction log.
+
+use std::sync::Once;
+
+/// Prints a banner and runs `body` once per process (criterion
+/// re-enters bench functions many times; the reproduction tables should
+/// appear once).
+pub fn print_once(banner: &str, body: impl FnOnce()) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("\n================================================================");
+        println!("{banner}");
+        println!("================================================================");
+        body();
+        println!();
+    });
+}

@@ -1,0 +1,736 @@
+//! The Ouessant controller: an unpipelined fetch/decode/execute
+//! microcontroller.
+//!
+//! "Ouessant controller is responsible for instruction decoding and
+//! actual control of data transfer and coprocessor operations based on
+//! provided microcode. It is based on a classical unpipelined
+//! Fetch/Decode/Execute microcontroller architecture. It roughly
+//! consists of a Finite State Machine to control execution, and of
+//! registers to store the state it is in." (§III-D)
+//!
+//! Timing model (one `tick` = one clock cycle):
+//!
+//! * start handshake: 1 cycle to observe the S bit, then a burst read of
+//!   the whole program from bank 0 into the internal program store;
+//! * each instruction costs 1 fetch + 1 decode cycle, plus its execute
+//!   time: transfers occupy the bus for their burst, `exec` waits for the
+//!   RAC, register operations take a single cycle.
+
+use std::error::Error;
+use std::fmt;
+
+use ouessant_isa::operands::{Bank, BurstLen, FifoId, MAX_PROGRAM_LEN};
+use ouessant_isa::{DecodeError, Instruction};
+use ouessant_rac::rac::RacSocket;
+use ouessant_sim::bus::BusError;
+use ouessant_sim::SystemBus;
+
+use crate::banks::{BankTranslation, TranslateError, PROGRAM_BANK};
+use crate::interface::{DmaPort, IrqLine};
+use crate::regs::RegsHandle;
+
+/// A fatal condition that stops the controller (debug-visible; the D bit
+/// is *not* set, so the host driver times out and reads the state
+/// register).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program-size register is zero or beyond the program store.
+    BadProgSize {
+        /// Value found in the register.
+        size: u32,
+    },
+    /// An instruction word failed to decode.
+    BadInstruction {
+        /// Program counter of the word.
+        pc: u16,
+        /// Decoder diagnosis.
+        source: DecodeError,
+    },
+    /// Bank translation failed.
+    Translate(TranslateError),
+    /// The system bus reported an error.
+    Bus(BusError),
+    /// The program counter ran past the end of the program (missing
+    /// `eop`/`halt` — prevented for assembled programs by validation).
+    PcOverrun {
+        /// The overrunning pc.
+        pc: u16,
+    },
+    /// An `rcfg` instruction targeted a static accelerator or a
+    /// non-existent configuration slot.
+    Reconfig {
+        /// The requested slot.
+        slot: u16,
+        /// Number of slots the accelerator offers (0 for static RACs).
+        available: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BadProgSize { size } => {
+                write!(f, "program size register holds invalid value {size}")
+            }
+            ExecError::BadInstruction { pc, source } => {
+                write!(f, "instruction at pc {pc} failed to decode: {source}")
+            }
+            ExecError::Translate(e) => write!(f, "{e}"),
+            ExecError::Bus(e) => write!(f, "bus error during transfer: {e}"),
+            ExecError::PcOverrun { pc } => write!(f, "program counter overran program at {pc}"),
+            ExecError::Reconfig { slot, available } => write!(
+                f,
+                "rcfg slot {slot} invalid ({available} configurations available)"
+            ),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::BadInstruction { source, .. } => Some(source),
+            ExecError::Translate(e) => Some(e),
+            ExecError::Bus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TranslateError> for ExecError {
+    fn from(e: TranslateError) -> Self {
+        ExecError::Translate(e)
+    }
+}
+
+impl From<BusError> for ExecError {
+    fn from(e: BusError) -> Self {
+        ExecError::Bus(e)
+    }
+}
+
+/// The controller's FSM state (readable through the debug register
+/// window).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerState {
+    /// Waiting for the S bit.
+    Idle,
+    /// Program burst-read from bank 0 in flight.
+    LoadProgram,
+    /// Reading the instruction at `pc` from the program store.
+    Fetch,
+    /// Decoding the fetched word.
+    Decode,
+    /// Dispatching the decoded instruction.
+    Execute,
+    /// Transfer waiting for FIFO space (mvtc) or occupancy (mvfc).
+    TransferFifoWait,
+    /// Transfer burst in flight on the system bus.
+    TransferBusWait,
+    /// Waiting for the RAC's `end_op`.
+    RacWait,
+    /// `wait` instruction counting down.
+    WaitCycles {
+        /// Cycles remaining.
+        left: u16,
+    },
+    /// `sync` instruction waiting for all FIFOs to drain.
+    SyncWait,
+    /// Partial bitstream loading into the RAC slot (`rcfg`).
+    ReconfigWait {
+        /// Cycles remaining of the bitstream transfer.
+        left: u64,
+    },
+    /// Stopped on a fatal error.
+    Faulted(ExecError),
+}
+
+impl ControllerState {
+    /// A stable numeric id for the debug state register.
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        match self {
+            ControllerState::Idle => 0,
+            ControllerState::LoadProgram => 1,
+            ControllerState::Fetch => 2,
+            ControllerState::Decode => 3,
+            ControllerState::Execute => 4,
+            ControllerState::TransferFifoWait => 5,
+            ControllerState::TransferBusWait => 6,
+            ControllerState::RacWait => 7,
+            ControllerState::WaitCycles { .. } => 8,
+            ControllerState::SyncWait => 9,
+            ControllerState::ReconfigWait { .. } => 10,
+            ControllerState::Faulted(_) => 15,
+        }
+    }
+}
+
+/// Statistics the controller gathers per program run (the measurements
+/// behind the paper's §V-B transfer-efficiency analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerStats {
+    /// Cycles from observing the S bit to setting D (whole offload).
+    pub active_cycles: u64,
+    /// Cycles spent loading the program from memory.
+    pub program_load_cycles: u64,
+    /// Data words moved by mvtc/mvfc (excludes the program fetch).
+    pub words_transferred: u64,
+    /// Cycles during which a data transfer was in flight on the bus.
+    pub transfer_cycles: u64,
+    /// Cycles spent waiting for the RAC.
+    pub rac_wait_cycles: u64,
+    /// Instructions retired.
+    pub instructions_retired: u64,
+    /// Completed program runs.
+    pub runs_completed: u64,
+}
+
+impl ControllerStats {
+    /// Effective transfer cost in cycles per word, the paper's §V-B
+    /// metric ("around 1.5 cycles per word were required").
+    ///
+    /// Includes the per-instruction overhead of issuing the transfers
+    /// but not the RAC compute time.
+    #[must_use]
+    pub fn cycles_per_word(&self) -> f64 {
+        if self.words_transferred == 0 {
+            return 0.0;
+        }
+        // Per-transfer-instruction fetch/decode/issue overhead is part
+        // of moving data, so charge transfer_cycles plus three cycles
+        // per retired transfer instruction — conservatively approximated
+        // by the recorded transfer bus cycles only when instruction
+        // counts are unavailable.
+        self.transfer_cycles as f64 / self.words_transferred as f64
+    }
+}
+
+#[derive(Debug)]
+enum PendingTransfer {
+    /// Read from memory into input FIFO `fifo`.
+    ToCoprocessor { fifo: FifoId },
+    /// Write from output FIFO to memory (payload already popped).
+    FromCoprocessor,
+}
+
+/// The controller: FSM + program store + extension registers.
+#[derive(Debug)]
+pub struct Controller {
+    state: ControllerState,
+    dma: DmaPort,
+    xlate: BankTranslation,
+    program: Vec<u32>,
+    pc: u16,
+    prog_len: u16,
+    current: Option<Instruction>,
+    pending_transfer: Option<PendingTransfer>,
+    counters: [u16; 4],
+    offset_regs: [u16; 4],
+    preloaded: bool,
+    stats: ControllerStats,
+    started_at: u64,
+    cycle: u64,
+}
+
+impl Controller {
+    /// Creates an idle controller whose transfers go through `dma`.
+    #[must_use]
+    pub fn new(dma: DmaPort) -> Self {
+        Self {
+            state: ControllerState::Idle,
+            dma,
+            xlate: BankTranslation::new(),
+            program: Vec::new(),
+            pc: 0,
+            prog_len: 0,
+            current: None,
+            pending_transfer: None,
+            counters: [0; 4],
+            offset_regs: [0; 4],
+            preloaded: false,
+            stats: ControllerStats::default(),
+            started_at: 0,
+            cycle: 0,
+        }
+    }
+
+    /// The current FSM state.
+    #[must_use]
+    pub fn state(&self) -> &ControllerState {
+        &self.state
+    }
+
+    /// Whether the controller is executing a program.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !matches!(
+            self.state,
+            ControllerState::Idle | ControllerState::Faulted(_)
+        )
+    }
+
+    /// The fault that stopped the controller, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<&ExecError> {
+        match &self.state {
+            ControllerState::Faulted(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Run statistics.
+    #[must_use]
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Current program counter (for the debug window).
+    #[must_use]
+    pub fn pc(&self) -> u16 {
+        self.pc
+    }
+
+    /// Pre-loads the program store directly, bypassing the bank-0 fetch
+    /// (standalone mode: the paper's §VI mentions "standalone operation
+    /// … to provide control for processor-free designs").
+    pub fn preload_program(&mut self, words: &[u32]) {
+        self.program = words.to_vec();
+        self.prog_len = words.len() as u16;
+        self.preloaded = true;
+    }
+
+    fn set_fault(&mut self, e: ExecError) {
+        self.state = ControllerState::Faulted(e);
+    }
+
+    fn retire(&mut self) {
+        self.stats.instructions_retired += 1;
+        self.pc += 1;
+        self.current = None;
+        self.state = ControllerState::Fetch;
+    }
+
+    /// Advances the controller one clock cycle.
+    ///
+    /// `irq` is the GPP interrupt line, `regs` the shared register file,
+    /// `socket` the RAC with its FIFOs (ticked separately by the OCP).
+    pub fn tick(
+        &mut self,
+        bus: &mut dyn SystemBus,
+        regs: &RegsHandle,
+        socket: &mut RacSocket,
+        irq: &IrqLine,
+    ) {
+        self.step_fsm(bus, regs, socket, irq);
+        let (state_id, retired, words, pc) = (
+            self.state.id(),
+            self.stats.instructions_retired as u32,
+            self.stats.words_transferred as u32,
+            u32::from(self.pc),
+        );
+        regs.with_mut(|r| r.set_debug(state_id, retired, words, pc));
+    }
+
+    /// One FSM step; the public [`Controller::tick`] wraps it so the
+    /// debug registers are refreshed on every exit path.
+    #[allow(clippy::too_many_lines)] // one arm per FSM state, kept together deliberately
+    fn step_fsm(
+        &mut self,
+        bus: &mut dyn SystemBus,
+        regs: &RegsHandle,
+        socket: &mut RacSocket,
+        irq: &IrqLine,
+    ) {
+        self.cycle += 1;
+        if self.is_active() {
+            self.stats.active_cycles += 1;
+        }
+        match std::mem::replace(&mut self.state, ControllerState::Idle) {
+            ControllerState::Idle => {
+                if regs.with_mut(|r| r.take_start()) {
+                    let size = regs.with(|r| r.prog_size());
+                    if size == 0 || size as usize > MAX_PROGRAM_LEN {
+                        self.set_fault(ExecError::BadProgSize { size });
+                        return;
+                    }
+                    self.started_at = self.cycle;
+                    self.stats.active_cycles += 1; // count the start cycle
+                    self.prog_len = size as u16;
+                    self.counters = [0; 4];
+                    self.offset_regs = [0; 4];
+                    if self.preloaded {
+                        // Standalone mode (§VI): the microcode sits in an
+                        // internal ROM, no bank-0 fetch needed.
+                        self.pc = 0;
+                        self.state = ControllerState::Fetch;
+                        return;
+                    }
+                    // Burst-read the whole microcode from bank 0.
+                    let bank0 = Bank::new(PROGRAM_BANK as u8).expect("bank 0 valid");
+                    let addr = match regs.with(|r| self.xlate.translate(r, bank0, 0)) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            self.set_fault(e.into());
+                            return;
+                        }
+                    };
+                    if let Err(e) = self.dma.begin_read(bus, addr, self.prog_len) {
+                        self.set_fault(e.into());
+                        return;
+                    }
+                    self.state = ControllerState::LoadProgram;
+                } else {
+                    self.state = ControllerState::Idle;
+                }
+            }
+            ControllerState::LoadProgram => {
+                self.stats.program_load_cycles += 1;
+                match self.dma.take_completion(bus) {
+                    None => self.state = ControllerState::LoadProgram,
+                    Some(Err(e)) => {
+                        self.set_fault(e.into());
+                    }
+                    Some(Ok(c)) => {
+                        self.program = c.data;
+                        self.pc = 0;
+                        self.state = ControllerState::Fetch;
+                    }
+                }
+            }
+            ControllerState::Fetch => {
+                if usize::from(self.pc) >= self.program.len() {
+                    self.set_fault(ExecError::PcOverrun { pc: self.pc });
+                    return;
+                }
+                self.state = ControllerState::Decode;
+            }
+            ControllerState::Decode => {
+                let word = self.program[usize::from(self.pc)];
+                match Instruction::decode(word) {
+                    Ok(insn) => {
+                        self.current = Some(insn);
+                        self.state = ControllerState::Execute;
+                    }
+                    Err(source) => {
+                        self.set_fault(ExecError::BadInstruction {
+                            pc: self.pc,
+                            source,
+                        });
+                    }
+                }
+            }
+            ControllerState::Execute => {
+                let insn = self.current.expect("decode set current");
+                self.dispatch(insn, bus, regs, socket, irq);
+            }
+            ControllerState::TransferFifoWait => {
+                let insn = self.current.expect("transfer in progress");
+                self.try_issue_transfer(insn, bus, regs, socket);
+            }
+            ControllerState::TransferBusWait => {
+                self.stats.transfer_cycles += 1;
+                match self.dma.take_completion(bus) {
+                    None => self.state = ControllerState::TransferBusWait,
+                    Some(Err(e)) => {
+                        self.set_fault(e.into());
+                    }
+                    Some(Ok(c)) => {
+                        // Reads deliver their payload into the input FIFO
+                        // here; writes were counted when their payload was
+                        // popped at issue time.
+                        if let Some(PendingTransfer::ToCoprocessor { fifo }) =
+                            self.pending_transfer.take()
+                        {
+                            for w in &c.data {
+                                socket
+                                    .push_input(fifo.index(), *w)
+                                    .expect("space reserved before issue");
+                            }
+                            self.stats.words_transferred += c.data.len() as u64;
+                        }
+                        self.retire();
+                    }
+                }
+            }
+            ControllerState::RacWait => {
+                self.stats.rac_wait_cycles += 1;
+                if socket.busy() {
+                    self.state = ControllerState::RacWait;
+                } else {
+                    self.retire();
+                }
+            }
+            ControllerState::WaitCycles { left } => {
+                if left > 1 {
+                    self.state = ControllerState::WaitCycles { left: left - 1 };
+                } else {
+                    self.retire();
+                }
+            }
+            ControllerState::SyncWait => {
+                if socket.all_fifos_empty() {
+                    self.retire();
+                } else {
+                    self.state = ControllerState::SyncWait;
+                }
+            }
+            ControllerState::ReconfigWait { left } => {
+                if left > 1 {
+                    self.state = ControllerState::ReconfigWait { left: left - 1 };
+                } else {
+                    self.retire();
+                }
+            }
+            ControllerState::Faulted(e) => {
+                self.state = ControllerState::Faulted(e);
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        insn: Instruction,
+        bus: &mut dyn SystemBus,
+        regs: &RegsHandle,
+        socket: &mut RacSocket,
+        irq: &IrqLine,
+    ) {
+        match insn {
+            Instruction::Nop => self.retire(),
+            Instruction::Mvtc { .. }
+            | Instruction::Mvfc { .. }
+            | Instruction::Mvtcr { .. }
+            | Instruction::Mvfcr { .. } => {
+                self.try_issue_transfer(insn, bus, regs, socket);
+            }
+            Instruction::Exec { op } => {
+                socket.start(op);
+                self.state = ControllerState::RacWait;
+            }
+            Instruction::Execn { op } => {
+                socket.start(op);
+                self.retire();
+            }
+            Instruction::Wrac => {
+                self.state = ControllerState::RacWait;
+            }
+            Instruction::Eop => {
+                regs.with_mut(|r| r.set_done());
+                if regs.with(|r| r.irq_enabled()) {
+                    irq.raise();
+                }
+                self.stats.instructions_retired += 1;
+                self.stats.runs_completed += 1;
+                self.current = None;
+                self.state = ControllerState::Idle;
+            }
+            Instruction::Halt => {
+                self.stats.instructions_retired += 1;
+                self.current = None;
+                self.state = ControllerState::Idle;
+            }
+            Instruction::Ldc { counter, imm } => {
+                self.counters[counter.index()] = imm;
+                self.retire();
+            }
+            Instruction::Djnz { counter, target } => {
+                let c = &mut self.counters[counter.index()];
+                if *c > 0 {
+                    *c -= 1;
+                }
+                if *c > 0 {
+                    self.stats.instructions_retired += 1;
+                    self.pc = target.value();
+                    self.current = None;
+                    self.state = ControllerState::Fetch;
+                } else {
+                    self.retire();
+                }
+            }
+            Instruction::Ldo { reg, imm } => {
+                self.offset_regs[reg.index()] = imm;
+                self.retire();
+            }
+            Instruction::Addo { reg, delta } => {
+                let v = i32::from(self.offset_regs[reg.index()]) + i32::from(delta);
+                self.offset_regs[reg.index()] = (v.rem_euclid(1 << 14)) as u16;
+                self.retire();
+            }
+            Instruction::Wait { cycles } => {
+                if cycles == 0 {
+                    self.retire();
+                } else {
+                    self.state = ControllerState::WaitCycles { left: cycles };
+                }
+            }
+            Instruction::Sync => {
+                self.state = ControllerState::SyncWait;
+            }
+            Instruction::Rcfg { slot } => {
+                use ouessant_rac::rac::ReconfigResponse;
+                match socket.reconfigure(slot) {
+                    ReconfigResponse::Started { cycles } if cycles > 0 => {
+                        self.state = ControllerState::ReconfigWait { left: cycles };
+                    }
+                    ReconfigResponse::Started { .. } => self.retire(),
+                    ReconfigResponse::Unsupported => {
+                        self.set_fault(ExecError::Reconfig { slot, available: 0 });
+                    }
+                    ReconfigResponse::BadSlot { available } => {
+                        self.set_fault(ExecError::Reconfig { slot, available });
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_issue_transfer(
+        &mut self,
+        insn: Instruction,
+        bus: &mut dyn SystemBus,
+        regs: &RegsHandle,
+        socket: &mut RacSocket,
+    ) {
+        // Resolve direction, bank, offset, burst, fifo.
+        let (to_coprocessor, bank, word_offset, burst, fifo, post_inc_reg) = match insn {
+            Instruction::Mvtc {
+                bank,
+                offset,
+                burst,
+                fifo,
+            } => (true, bank, u32::from(offset.value()), burst, fifo, None),
+            Instruction::Mvfc {
+                bank,
+                offset,
+                burst,
+                fifo,
+            } => (false, bank, u32::from(offset.value()), burst, fifo, None),
+            Instruction::Mvtcr {
+                bank,
+                reg,
+                burst,
+                fifo,
+            } => (
+                true,
+                bank,
+                u32::from(self.offset_regs[reg.index()]),
+                burst,
+                fifo,
+                Some(reg),
+            ),
+            Instruction::Mvfcr {
+                bank,
+                reg,
+                burst,
+                fifo,
+            } => (
+                false,
+                bank,
+                u32::from(self.offset_regs[reg.index()]),
+                burst,
+                fifo,
+                Some(reg),
+            ),
+            _ => unreachable!("only transfer instructions reach try_issue_transfer"),
+        };
+
+        let words = usize::from(burst.words());
+        if to_coprocessor {
+            if socket.input_space(fifo.index()) < words {
+                self.state = ControllerState::TransferFifoWait;
+                return;
+            }
+        } else if socket.output_available(fifo.index()) < words {
+            self.state = ControllerState::TransferFifoWait;
+            return;
+        }
+
+        let addr = match regs.with(|r| self.xlate.translate(r, bank, word_offset)) {
+            Ok(a) => a,
+            Err(e) => {
+                self.set_fault(e.into());
+                return;
+            }
+        };
+
+        let issue_result = if to_coprocessor {
+            self.pending_transfer = Some(PendingTransfer::ToCoprocessor { fifo });
+            self.dma.begin_read(bus, addr, burst.words())
+        } else {
+            let mut payload = Vec::with_capacity(words);
+            for _ in 0..words {
+                payload.push(
+                    socket
+                        .pop_output(fifo.index())
+                        .expect("occupancy checked above"),
+                );
+            }
+            self.pending_transfer = Some(PendingTransfer::FromCoprocessor);
+            self.stats.words_transferred += words as u64;
+            self.dma.begin_write(bus, addr, payload)
+        };
+
+        if let Err(e) = issue_result {
+            self.set_fault(e.into());
+            return;
+        }
+        if let Some(reg) = post_inc_reg {
+            let v = u32::from(self.offset_regs[reg.index()]) + u32::from(burst.words());
+            self.offset_regs[reg.index()] = (v % (1 << 14)) as u16;
+        }
+        self.state = ControllerState::TransferBusWait;
+    }
+
+    /// Validates a burst against a FIFO depth: a transfer larger than
+    /// the FIFO can never complete. Exposed so the host library can warn
+    /// at configuration time.
+    #[must_use]
+    pub fn burst_fits(burst: BurstLen, fifo_depth: usize) -> bool {
+        usize::from(burst.words()) <= fifo_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_ids_are_distinct() {
+        let states = [
+            ControllerState::Idle,
+            ControllerState::LoadProgram,
+            ControllerState::Fetch,
+            ControllerState::Decode,
+            ControllerState::Execute,
+            ControllerState::TransferFifoWait,
+            ControllerState::TransferBusWait,
+            ControllerState::RacWait,
+            ControllerState::WaitCycles { left: 1 },
+            ControllerState::SyncWait,
+            ControllerState::ReconfigWait { left: 1 },
+            ControllerState::Faulted(ExecError::PcOverrun { pc: 0 }),
+        ];
+        let mut ids: Vec<u32> = states.iter().map(ControllerState::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), states.len());
+    }
+
+    #[test]
+    fn burst_fits_check() {
+        assert!(Controller::burst_fits(BurstLen::new(64).unwrap(), 64));
+        assert!(!Controller::burst_fits(BurstLen::new(65).unwrap(), 64));
+    }
+
+    #[test]
+    fn exec_error_messages() {
+        let e = ExecError::BadProgSize { size: 0 };
+        assert!(e.to_string().contains("program size"));
+        let e = ExecError::PcOverrun { pc: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    // Full FSM behaviour is exercised through the Ocp in ocp.rs tests
+    // and the cross-crate integration tests.
+}

@@ -1,0 +1,450 @@
+//! The assembled Ouessant coprocessor.
+//!
+//! [`Ocp`] wires the three blocks of Figure 1 together — bus interface,
+//! controller, RAC — and is what a SoC instantiates: one slave window
+//! for the configuration registers, one bus master for the DMA
+//! transfers, one interrupt line, and a `tick` to advance everything one
+//! clock cycle.
+
+use ouessant_rac::rac::{Rac, RacSocket};
+use ouessant_sim::bus::Addr;
+use ouessant_sim::SystemBus;
+
+use crate::controller::{Controller, ControllerStats, ExecError};
+use crate::interface::{DmaPort, IrqLine, RegSlavePort};
+use crate::regs::RegsHandle;
+
+/// Static OCP parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OcpConfig {
+    /// Depth of each RAC FIFO in 32-bit words.
+    ///
+    /// "FIFO memory is inferred as BRAM, and strongly dependent on the
+    /// accelerator" — the DFT needs 512-word FIFOs, the IDCT 64.
+    pub fifo_depth: usize,
+}
+
+impl Default for OcpConfig {
+    fn default() -> Self {
+        Self { fifo_depth: 1024 }
+    }
+}
+
+/// Aggregated statistics of one OCP (see also [`ControllerStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OcpStats {
+    /// Controller-level statistics.
+    pub controller: ControllerStats,
+    /// Cycles the OCP has been ticked in total.
+    pub total_cycles: u64,
+}
+
+/// An Ouessant coprocessor instance.
+///
+/// See the [crate documentation](crate) for a full integration example.
+#[derive(Debug)]
+pub struct Ocp {
+    regs: RegsHandle,
+    irq: IrqLine,
+    controller: Controller,
+    socket: RacSocket,
+    base: Addr,
+    total_cycles: u64,
+}
+
+impl Ocp {
+    /// Creates an OCP around `rac`, registers its master port on `bus`
+    /// and maps its register window at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is unaligned or overlaps an existing slave
+    /// (static integration errors, as in [`ouessant_sim::Bus::add_slave`]).
+    #[must_use]
+    pub fn attach(
+        bus: &mut dyn SystemBus,
+        base: Addr,
+        rac: Box<dyn Rac>,
+        config: OcpConfig,
+    ) -> Self {
+        let regs = RegsHandle::new();
+        bus.add_slave_boxed(base, Box::new(RegSlavePort::new(regs.clone())));
+        let master = bus.register_master("ocp");
+        let controller = Controller::new(DmaPort::new(master));
+        let socket = RacSocket::new(rac, config.fifo_depth);
+        Self {
+            regs,
+            irq: IrqLine::new(),
+            controller,
+            socket,
+            base,
+            total_cycles: 0,
+        }
+    }
+
+    /// The register-file handle (host configuration side).
+    #[must_use]
+    pub fn regs(&self) -> &RegsHandle {
+        &self.regs
+    }
+
+    /// The base address of the register window.
+    #[must_use]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The interrupt line (clone it into the CPU model).
+    #[must_use]
+    pub fn irq(&self) -> &IrqLine {
+        &self.irq
+    }
+
+    /// The controller (state inspection).
+    #[must_use]
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// The RAC socket (FIFO inspection in tests).
+    #[must_use]
+    pub fn socket(&self) -> &RacSocket {
+        &self.socket
+    }
+
+    /// The fault that stopped the controller, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<&ExecError> {
+        self.controller.fault()
+    }
+
+    /// Whether the coprocessor is mid-program.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.controller.is_active()
+    }
+
+    /// Pre-loads microcode directly into the program store (standalone
+    /// mode; normal operation fetches it from bank 0 on start).
+    pub fn preload_program(&mut self, words: &[u32]) {
+        self.controller.preload_program(words);
+    }
+
+    /// Advances the whole coprocessor one clock cycle: the RAC always
+    /// runs (it is an independent piece of hardware); the controller
+    /// FSM steps alongside it.
+    pub fn tick(&mut self, bus: &mut dyn SystemBus) {
+        self.total_cycles += 1;
+        self.socket.tick();
+        self.controller
+            .tick(bus, &self.regs, &mut self.socket, &self.irq);
+    }
+
+    /// Aggregated statistics.
+    #[must_use]
+    pub fn stats(&self) -> OcpStats {
+        OcpStats {
+            controller: self.controller.stats(),
+            total_cycles: self.total_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouessant_isa::{assemble, Program, ProgramBuilder};
+    use ouessant_rac::idct::{idct_2d_fixed, IdctRac};
+    use ouessant_rac::passthrough::PassthroughRac;
+    use ouessant_sim::bus::{Bus, BusConfig};
+    use ouessant_sim::memory::{Sram, SramConfig};
+
+    const RAM_BASE: Addr = 0x4000_0000;
+    const OCP_BASE: Addr = 0x8000_0000;
+
+    struct Fixture {
+        bus: Bus,
+        ocp: Ocp,
+    }
+
+    fn fixture(rac: Box<dyn Rac>) -> Fixture {
+        let mut bus = Bus::new(BusConfig::default());
+        let _cpu = bus.register_master("cpu");
+        bus.add_slave(RAM_BASE, Sram::with_words(16384, SramConfig::no_wait()));
+        let ocp = Ocp::attach(&mut bus, OCP_BASE, rac, OcpConfig::default());
+        Fixture { bus, ocp }
+    }
+
+    impl Fixture {
+        fn load_program(&mut self, program: &Program) {
+            for (i, w) in program.to_words().iter().enumerate() {
+                self.bus.debug_write(RAM_BASE + (i as u32) * 4, *w).unwrap();
+            }
+            self.ocp.regs().set_bank(0, RAM_BASE).unwrap();
+            self.ocp
+                .regs()
+                .set_prog_size(program.len() as u32)
+                .unwrap();
+        }
+
+        fn run(&mut self, max_cycles: u64) -> u64 {
+            self.ocp.regs().start();
+            let mut cycles = 0;
+            while !self.ocp.regs().done() {
+                self.ocp.tick(&mut self.bus);
+                ouessant_sim::SystemBus::tick(&mut self.bus);
+                cycles += 1;
+                if let Some(f) = self.ocp.fault() {
+                    panic!("OCP faulted after {cycles} cycles: {f}");
+                }
+                assert!(cycles <= max_cycles, "OCP did not finish");
+            }
+            cycles
+        }
+    }
+
+    #[test]
+    fn dma_round_trip_through_passthrough() {
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let program = assemble(
+            "mvtc BANK1,0,DMA16,FIFO0\nexecs 16\nmvfc BANK2,0,DMA16,FIFO0\neop",
+        )
+        .unwrap();
+        fx.load_program(&program);
+        fx.ocp.regs().set_bank(1, RAM_BASE + 0x1000).unwrap();
+        fx.ocp.regs().set_bank(2, RAM_BASE + 0x2000).unwrap();
+        for i in 0..16u32 {
+            fx.bus
+                .debug_write(RAM_BASE + 0x1000 + i * 4, 0xA000_0000 + i)
+                .unwrap();
+        }
+        fx.run(10_000);
+        for i in 0..16u32 {
+            assert_eq!(
+                fx.bus.debug_read(RAM_BASE + 0x2000 + i * 4).unwrap(),
+                0xA000_0000 + i
+            );
+        }
+        let stats = fx.ocp.stats();
+        assert_eq!(stats.controller.words_transferred, 32);
+        assert_eq!(stats.controller.runs_completed, 1);
+    }
+
+    #[test]
+    fn idct_offload_matches_data_path() {
+        let mut fx = fixture(Box::new(IdctRac::new()));
+        let program = ProgramBuilder::new()
+            .mvtc(1, 0, 64, 0)
+            .unwrap()
+            .execs()
+            .mvfc(2, 0, 64, 0)
+            .unwrap()
+            .eop()
+            .finish()
+            .unwrap();
+        fx.load_program(&program);
+        fx.ocp.regs().set_bank(1, RAM_BASE + 0x1000).unwrap();
+        fx.ocp.regs().set_bank(2, RAM_BASE + 0x2000).unwrap();
+        let coeffs: Vec<i32> = (0..64).map(|i| (i * 91 % 1001) - 500).collect();
+        for (i, &c) in coeffs.iter().enumerate() {
+            fx.bus
+                .debug_write(RAM_BASE + 0x1000 + (i as u32) * 4, c as u32)
+                .unwrap();
+        }
+        fx.run(100_000);
+        let expected = idct_2d_fixed(&coeffs);
+        for (i, &e) in expected.iter().enumerate() {
+            let got = fx.bus.debug_read(RAM_BASE + 0x2000 + (i as u32) * 4).unwrap() as i32;
+            assert_eq!(got, e, "output word {i}");
+        }
+    }
+
+    #[test]
+    fn irq_raised_only_when_enabled() {
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let program = assemble("eop").unwrap();
+        fx.load_program(&program);
+
+        // Polling mode: IE clear → no interrupt.
+        fx.run(10_000);
+        assert!(!fx.ocp.irq().is_raised());
+
+        // Interrupt mode.
+        fx.ocp.regs().set_irq_enabled(true);
+        fx.run(10_000);
+        assert!(fx.ocp.irq().is_raised());
+        fx.ocp.irq().clear();
+        assert!(!fx.ocp.irq().is_raised());
+    }
+
+    #[test]
+    fn halt_does_not_set_done() {
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let program = assemble("halt").unwrap();
+        fx.load_program(&program);
+        fx.ocp.regs().start();
+        for _ in 0..1000 {
+            fx.ocp.tick(&mut fx.bus);
+            ouessant_sim::SystemBus::tick(&mut fx.bus);
+        }
+        assert!(!fx.ocp.regs().done());
+        assert!(!fx.ocp.is_active());
+        assert!(fx.ocp.fault().is_none());
+    }
+
+    #[test]
+    fn looped_program_equals_unrolled() {
+        // The extension ISA loop moves the same data as Figure 4's
+        // unrolled form.
+        let unrolled = ProgramBuilder::new()
+            .transfer_to_coprocessor(1, 0, 256, 64, 0)
+            .unwrap()
+            .execs_op(256)
+            .transfer_from_coprocessor(2, 0, 256, 64, 0)
+            .unwrap()
+            .eop()
+            .finish()
+            .unwrap();
+        let looped = assemble(
+            "
+            ldc R0,4
+            ldo O0,0
+            in_loop:
+                mvtcr BANK1,O0,DMA64,FIFO0
+                djnz R0,in_loop
+            execs 256
+            ldc R1,4
+            ldo O1,0
+            out_loop:
+                mvfcr BANK2,O1,DMA64,FIFO0
+                djnz R1,out_loop
+            eop
+            ",
+        )
+        .unwrap();
+
+        let mut results = Vec::new();
+        for program in [&unrolled, &looped] {
+            let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+            fx.load_program(program);
+            fx.ocp.regs().set_bank(1, RAM_BASE + 0x1000).unwrap();
+            fx.ocp.regs().set_bank(2, RAM_BASE + 0x4000).unwrap();
+            for i in 0..256u32 {
+                fx.bus
+                    .debug_write(RAM_BASE + 0x1000 + i * 4, i * 7)
+                    .unwrap();
+            }
+            fx.run(100_000);
+            let out: Vec<u32> = (0..256u32)
+                .map(|i| fx.bus.debug_read(RAM_BASE + 0x4000 + i * 4).unwrap())
+                .collect();
+            results.push(out);
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn unconfigured_bank_faults() {
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let program = assemble("mvtc BANK3,0,DMA8,FIFO0\neop").unwrap();
+        fx.load_program(&program);
+        fx.ocp.regs().start();
+        let mut faulted = false;
+        for _ in 0..10_000 {
+            fx.ocp.tick(&mut fx.bus);
+            ouessant_sim::SystemBus::tick(&mut fx.bus);
+            if fx.ocp.fault().is_some() {
+                faulted = true;
+                break;
+            }
+        }
+        assert!(faulted, "transfer to unconfigured bank must fault");
+        assert!(!fx.ocp.regs().done());
+    }
+
+    #[test]
+    fn bad_prog_size_faults() {
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        fx.ocp.regs().set_bank(0, RAM_BASE).unwrap();
+        // Bypass the validated setter, as a buggy driver would.
+        fx.ocp.regs().with_mut(|r| {
+            r.bus_write(crate::regs::REG_PROG_SIZE, 0);
+        });
+        fx.ocp.regs().start();
+        for _ in 0..10 {
+            fx.ocp.tick(&mut fx.bus);
+            ouessant_sim::SystemBus::tick(&mut fx.bus);
+        }
+        assert!(matches!(
+            fx.ocp.fault(),
+            Some(ExecError::BadProgSize { size: 0 })
+        ));
+    }
+
+    #[test]
+    fn wait_instruction_adds_exact_cycles() {
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let base_prog = assemble("eop").unwrap();
+        fx.load_program(&base_prog);
+        let base_cycles = fx.run(10_000);
+
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let wait_prog = assemble("wait 100\neop").unwrap();
+        fx.load_program(&wait_prog);
+        let wait_cycles = fx.run(10_000);
+        // wait adds its 100 cycles plus one fetch/decode pair (+1 for
+        // the extra program word in the load burst).
+        let delta = wait_cycles - base_cycles;
+        assert!(
+            (100..=110).contains(&delta),
+            "wait 100 added {delta} cycles"
+        );
+    }
+
+    #[test]
+    fn back_to_back_runs() {
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let program =
+            assemble("mvtc BANK1,0,DMA4,FIFO0\nexecs 4\nmvfc BANK2,0,DMA4,FIFO0\neop").unwrap();
+        fx.load_program(&program);
+        fx.ocp.regs().set_bank(1, RAM_BASE + 0x1000).unwrap();
+        fx.ocp.regs().set_bank(2, RAM_BASE + 0x2000).unwrap();
+        for run in 0..3u32 {
+            for i in 0..4u32 {
+                fx.bus
+                    .debug_write(RAM_BASE + 0x1000 + i * 4, run * 100 + i)
+                    .unwrap();
+            }
+            fx.run(10_000);
+            for i in 0..4u32 {
+                assert_eq!(
+                    fx.bus.debug_read(RAM_BASE + 0x2000 + i * 4).unwrap(),
+                    run * 100 + i,
+                    "run {run} word {i}"
+                );
+            }
+        }
+        assert_eq!(fx.ocp.stats().controller.runs_completed, 3);
+    }
+
+    #[test]
+    fn debug_registers_readable_over_bus() {
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let program = assemble("mvtc BANK1,0,DMA8,FIFO0\nexecs 8\nmvfc BANK2,0,DMA8,FIFO0\neop")
+            .unwrap();
+        fx.load_program(&program);
+        fx.ocp.regs().set_bank(1, RAM_BASE + 0x1000).unwrap();
+        fx.ocp.regs().set_bank(2, RAM_BASE + 0x2000).unwrap();
+        fx.run(10_000);
+        let retired = fx
+            .bus
+            .debug_read(OCP_BASE + crate::regs::REG_DBG_RETIRED)
+            .unwrap();
+        assert_eq!(retired, 4);
+        let words = fx
+            .bus
+            .debug_read(OCP_BASE + crate::regs::REG_DBG_WORDS)
+            .unwrap();
+        assert_eq!(words, 16);
+    }
+}

@@ -1,0 +1,126 @@
+//! `ouas` — the Ouessant microcode assembler/disassembler.
+//!
+//! ```text
+//! ouas asm <source.s>          assemble; hex words on stdout
+//! ouas asm <source.s> -o <f>   assemble into a file
+//! ouas dis <words.hex>         disassemble hex words (one per line)
+//! ouas check <source.s>        assemble and report statistics only
+//! ```
+//!
+//! Hex files hold one 32-bit word per line (`0x`-prefixed or bare hex);
+//! `#`/`//` comments and blank lines are ignored.
+
+use std::fs;
+use std::process::ExitCode;
+
+use ouessant_isa::{assemble, disassemble, Program};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ouas asm <source.s> [-o <out.hex>]");
+    eprintln!("       ouas dis <words.hex>");
+    eprintln!("       ouas check <source.s>");
+    ExitCode::from(2)
+}
+
+fn parse_hex_file(text: &str) -> Result<Vec<u32>, String> {
+    let mut words = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let mut line = raw;
+        for marker in ["//", "#"] {
+            if let Some(pos) = line.find(marker) {
+                line = &line[..pos];
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let hex = line.strip_prefix("0x").or_else(|| line.strip_prefix("0X")).unwrap_or(line);
+        let word = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("line {}: `{line}` is not a hex word", i + 1))?;
+        words.push(word);
+    }
+    Ok(words)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    match cmd {
+        "asm" | "check" => {
+            let (input, output) = match rest {
+                [input] => (input, None),
+                [input, flag, out] if flag == "-o" => (input, Some(out)),
+                _ => return usage(),
+            };
+            let source = match fs::read_to_string(input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ouas: cannot read {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match assemble(&source) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("ouas: {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cmd == "check" {
+                eprintln!(
+                    "{input}: {} instructions, {} data words transferred",
+                    program.len(),
+                    program.static_words_transferred()
+                );
+                return ExitCode::SUCCESS;
+            }
+            let hex: String = program
+                .to_words()
+                .iter()
+                .map(|w| format!("{w:#010x}\n"))
+                .collect();
+            match output {
+                Some(path) => {
+                    if let Err(e) = fs::write(path, hex) {
+                        eprintln!("ouas: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => print!("{hex}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "dis" => {
+            let [input] = rest else { return usage() };
+            let text = match fs::read_to_string(input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ouas: cannot read {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let words = match parse_hex_file(&text) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("ouas: {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Program::from_words(&words) {
+                Ok(program) => {
+                    print!("{}", disassemble(&program));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("ouas: {input}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

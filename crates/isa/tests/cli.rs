@@ -1,0 +1,110 @@
+//! End-to-end tests of the `ouas` assembler/disassembler CLI.
+
+use std::fs;
+use std::process::Command;
+
+fn ouas() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ouas"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ouas_test_{}_{name}", std::process::id()));
+    p
+}
+
+const SOURCE: &str = "\
+// quickstart microcode
+mvtc BANK1,0,DMA64,FIFO0
+execs
+mvfc BANK2,0,DMA64,FIFO0
+eop
+";
+
+#[test]
+fn asm_to_stdout() {
+    let src = temp_path("a.s");
+    fs::write(&src, SOURCE).unwrap();
+    let out = ouas().arg("asm").arg(&src).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 4);
+    assert!(text.lines().all(|l| l.starts_with("0x")));
+    fs::remove_file(src).ok();
+}
+
+#[test]
+fn asm_dis_round_trip() {
+    let src = temp_path("b.s");
+    let hex = temp_path("b.hex");
+    fs::write(&src, SOURCE).unwrap();
+    let out = ouas().args(["asm"]).arg(&src).arg("-o").arg(&hex).output().unwrap();
+    assert!(out.status.success());
+    let out = ouas().arg("dis").arg(&hex).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mvtc BANK1,0,DMA64,FIFO0"));
+    assert!(text.contains("execs"));
+    assert!(text.contains("eop"));
+    fs::remove_file(src).ok();
+    fs::remove_file(hex).ok();
+}
+
+#[test]
+fn check_reports_statistics() {
+    let src = temp_path("c.s");
+    fs::write(&src, SOURCE).unwrap();
+    let out = ouas().arg("check").arg(&src).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("4 instructions"));
+    assert!(text.contains("128 data words"));
+    fs::remove_file(src).ok();
+}
+
+#[test]
+fn syntax_error_reports_line_and_fails() {
+    let src = temp_path("d.s");
+    fs::write(&src, "nop\nfrobnicate\neop\n").unwrap();
+    let out = ouas().arg("asm").arg(&src).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("line 2"), "{text}");
+    assert!(text.contains("frobnicate"));
+    fs::remove_file(src).ok();
+}
+
+#[test]
+fn dis_rejects_bad_hex() {
+    let hex = temp_path("e.hex");
+    fs::write(&hex, "0xdeadbeef\nnot-hex\n").unwrap();
+    let out = ouas().arg("dis").arg(&hex).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    fs::remove_file(hex).ok();
+}
+
+#[test]
+fn dis_rejects_invalid_program() {
+    // A reserved opcode word.
+    let hex = temp_path("f.hex");
+    fs::write(&hex, format!("{:#010x}\n", 31u32 << 27)).unwrap();
+    let out = ouas().arg("dis").arg(&hex).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("reserved opcode"));
+    fs::remove_file(hex).ok();
+}
+
+#[test]
+fn usage_on_no_arguments() {
+    let out = ouas().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_file_reported() {
+    let out = ouas().args(["asm", "/nonexistent/path.s"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

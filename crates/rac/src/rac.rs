@@ -1,0 +1,446 @@
+//! The RAC contract and its FIFO harness.
+//!
+//! Figure 2 of the paper shows the accelerator sitting between an input
+//! FIFO (`dout`/`rd_en`/`empty` on the accelerator side) and an output
+//! FIFO (`din`/`wr_en`/`full`), launched by a `start_op` pulse and
+//! signalling completion with `end_op`. [`Rac`] is that contract;
+//! [`RacSocket`] is the surrounding harness, owning one 32-bit
+//! [`SyncFifo`] per interface.
+
+use std::error::Error;
+use std::fmt;
+
+use ouessant_sim::fifo::{FifoError, SyncFifo};
+
+/// Error type for RAC harness operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RacError {
+    /// A FIFO index beyond the accelerator's interface count.
+    NoSuchFifo {
+        /// The offending index.
+        index: usize,
+        /// Whether an input (true) or output (false) FIFO was addressed.
+        input: bool,
+    },
+    /// The underlying FIFO rejected the operation.
+    Fifo(FifoError),
+}
+
+impl fmt::Display for RacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RacError::NoSuchFifo { index, input } => write!(
+                f,
+                "no {} fifo with index {index}",
+                if *input { "input" } else { "output" }
+            ),
+            RacError::Fifo(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for RacError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RacError::Fifo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FifoError> for RacError {
+    fn from(e: FifoError) -> Self {
+        RacError::Fifo(e)
+    }
+}
+
+/// The FIFO view handed to a RAC on each tick.
+///
+/// Indices match the `FIFO<n>` operands of `mvtc` (inputs) and `mvfc`
+/// (outputs) in the microcode.
+#[derive(Debug)]
+pub struct RacIo<'a> {
+    /// Input FIFOs: the accelerator pops (`rd_en`) from these.
+    pub inputs: &'a mut [SyncFifo<u32>],
+    /// Output FIFOs: the accelerator pushes (`wr_en`) into these.
+    pub outputs: &'a mut [SyncFifo<u32>],
+}
+
+/// A Reconfigurable Acceleration Coprocessor.
+///
+/// The controller drives a RAC exclusively through this interface:
+/// [`Rac::start`] is the `start_op` pulse (with the 16-bit operation tag
+/// of `exec`), [`Rac::busy`] is the inverse of `end_op`, and
+/// [`Rac::tick`] advances the accelerator one clock cycle with access to
+/// its FIFOs.
+///
+/// Implementations must be deterministic: the same FIFO contents and
+/// tick sequence always produce the same outputs.
+pub trait Rac {
+    /// The accelerator's name (used in traces and resource reports).
+    fn name(&self) -> &str;
+
+    /// Number of input FIFO interfaces (default 1; "the number of input
+    /// and output interfaces can be adapted according to the accelerator
+    /// requirements").
+    fn num_input_fifos(&self) -> usize {
+        1
+    }
+
+    /// Number of output FIFO interfaces (default 1).
+    fn num_output_fifos(&self) -> usize {
+        1
+    }
+
+    /// Returns the accelerator to its power-on state (FIFOs are cleared
+    /// by the harness).
+    fn reset(&mut self);
+
+    /// The `start_op` pulse. `op` is the 16-bit operation tag from the
+    /// `exec`/`execn` instruction; accelerators that need no
+    /// configuration ignore it.
+    fn start(&mut self, op: u16);
+
+    /// Whether the accelerator is still processing (i.e. `end_op` has
+    /// not fired since the last [`Rac::start`]).
+    fn busy(&self) -> bool;
+
+    /// Advances one clock cycle.
+    fn tick(&mut self, io: &mut RacIo<'_>);
+
+    /// Requests loading configuration `slot` into the accelerator
+    /// region (dynamic partial reconfiguration, the paper's §VI work in
+    /// progress).
+    ///
+    /// Static accelerators return [`ReconfigResponse::Unsupported`]
+    /// (the default); reconfigurable slots switch their active
+    /// configuration and report the bitstream load latency.
+    fn reconfigure(&mut self, slot: u16) -> ReconfigResponse {
+        let _ = slot;
+        ReconfigResponse::Unsupported
+    }
+}
+
+/// Outcome of a [`Rac::reconfigure`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigResponse {
+    /// The accelerator is static hardware; `rcfg` is a microcode error.
+    Unsupported,
+    /// The slot id does not exist.
+    BadSlot {
+        /// Number of configurations available.
+        available: usize,
+    },
+    /// Reconfiguration started; the region is unusable for `cycles`
+    /// clock cycles (bitstream transfer through the ICAP).
+    Started {
+        /// Reconfiguration latency in cycles.
+        cycles: u64,
+    },
+}
+
+/// The harness around a RAC: the FIFOs of Figure 2 plus tick plumbing.
+///
+/// [`RacSocket`] is what the OCP embeds; it is also directly usable in
+/// tests and benchmarks to exercise an accelerator without a bus or
+/// controller (as the paper's authors did in simulation before going to
+/// the board).
+#[derive(Debug)]
+pub struct RacSocket {
+    rac: Box<dyn Rac>,
+    inputs: Vec<SyncFifo<u32>>,
+    outputs: Vec<SyncFifo<u32>>,
+    busy_cycles: u64,
+}
+
+impl fmt::Debug for dyn Rac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rac({})", self.name())
+    }
+}
+
+impl RacSocket {
+    /// Wraps `rac`, creating one `fifo_depth`-word FIFO per interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fifo_depth == 0` or the RAC declares zero interfaces
+    /// in both directions.
+    #[must_use]
+    pub fn new(rac: Box<dyn Rac>, fifo_depth: usize) -> Self {
+        assert!(fifo_depth > 0, "fifo depth must be non-zero");
+        let n_in = rac.num_input_fifos();
+        let n_out = rac.num_output_fifos();
+        assert!(n_in + n_out > 0, "RAC declares no FIFO interfaces");
+        let inputs = (0..n_in)
+            .map(|i| SyncFifo::new(&format!("{}.in{i}", rac.name()), fifo_depth))
+            .collect();
+        let outputs = (0..n_out)
+            .map(|i| SyncFifo::new(&format!("{}.out{i}", rac.name()), fifo_depth))
+            .collect();
+        Self {
+            rac,
+            inputs,
+            outputs,
+            busy_cycles: 0,
+        }
+    }
+
+    /// The wrapped accelerator.
+    #[must_use]
+    pub fn rac(&self) -> &dyn Rac {
+        self.rac.as_ref()
+    }
+
+    /// Number of input FIFOs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output FIFOs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Pushes one word into input FIFO `index` (the controller side of
+    /// `mvtc`).
+    ///
+    /// # Errors
+    ///
+    /// [`RacError::NoSuchFifo`] or [`RacError::Fifo`] on overflow.
+    pub fn push_input(&mut self, index: usize, word: u32) -> Result<(), RacError> {
+        self.inputs
+            .get_mut(index)
+            .ok_or(RacError::NoSuchFifo { index, input: true })?
+            .push(word)
+            .map_err(RacError::from)
+    }
+
+    /// Pops one word from output FIFO `index` (the controller side of
+    /// `mvfc`).
+    ///
+    /// # Errors
+    ///
+    /// [`RacError::NoSuchFifo`] or [`RacError::Fifo`] on underflow.
+    pub fn pop_output(&mut self, index: usize) -> Result<u32, RacError> {
+        self.outputs
+            .get_mut(index)
+            .ok_or(RacError::NoSuchFifo {
+                index,
+                input: false,
+            })?
+            .pop()
+            .map_err(RacError::from)
+    }
+
+    /// Free space of input FIFO `index`, in words.
+    #[must_use]
+    pub fn input_space(&self, index: usize) -> usize {
+        self.inputs.get(index).map_or(0, SyncFifo::space)
+    }
+
+    /// Occupancy of output FIFO `index`, in words.
+    #[must_use]
+    pub fn output_available(&self, index: usize) -> usize {
+        self.outputs.get(index).map_or(0, SyncFifo::len)
+    }
+
+    /// Whether every FIFO in both directions is empty (the `sync`
+    /// instruction's barrier condition).
+    #[must_use]
+    pub fn all_fifos_empty(&self) -> bool {
+        self.inputs.iter().all(SyncFifo::is_empty) && self.outputs.iter().all(SyncFifo::is_empty)
+    }
+
+    /// Pulses `start_op` with operation tag `op`.
+    pub fn start(&mut self, op: u16) {
+        self.rac.start(op);
+    }
+
+    /// Whether the accelerator is processing.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.rac.busy()
+    }
+
+    /// Forwards a reconfiguration request to the accelerator.
+    pub fn reconfigure(&mut self, slot: u16) -> ReconfigResponse {
+        self.rac.reconfigure(slot)
+    }
+
+    /// Advances the accelerator one clock cycle.
+    pub fn tick(&mut self) {
+        if self.rac.busy() {
+            self.busy_cycles += 1;
+        }
+        let mut io = RacIo {
+            inputs: &mut self.inputs,
+            outputs: &mut self.outputs,
+        };
+        self.rac.tick(&mut io);
+    }
+
+    /// Ticks until `busy()` deasserts, returning the number of cycles
+    /// consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accelerator is still busy after `max_cycles`.
+    pub fn run_until_done(&mut self, max_cycles: u64) -> u64 {
+        let mut cycles = 0;
+        while self.rac.busy() {
+            self.tick();
+            cycles += 1;
+            assert!(
+                cycles <= max_cycles,
+                "{} still busy after {max_cycles} cycles",
+                self.rac.name()
+            );
+        }
+        cycles
+    }
+
+    /// Resets the accelerator and clears every FIFO.
+    pub fn reset(&mut self) {
+        self.rac.reset();
+        for f in &mut self.inputs {
+            f.clear();
+        }
+        for f in &mut self.outputs {
+            f.clear();
+        }
+        self.busy_cycles = 0;
+    }
+
+    /// Total cycles spent with `busy()` asserted.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy RAC that doubles each input word after a fixed delay.
+    struct Doubler {
+        busy: bool,
+        delay_left: u64,
+        pending: Vec<u32>,
+    }
+
+    impl Doubler {
+        fn new() -> Self {
+            Self {
+                busy: false,
+                delay_left: 0,
+                pending: Vec::new(),
+            }
+        }
+    }
+
+    impl Rac for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn reset(&mut self) {
+            self.busy = false;
+            self.pending.clear();
+        }
+        fn start(&mut self, _op: u16) {
+            self.busy = true;
+            self.delay_left = 5;
+        }
+        fn busy(&self) -> bool {
+            self.busy
+        }
+        fn tick(&mut self, io: &mut RacIo<'_>) {
+            if !self.busy {
+                return;
+            }
+            while let Ok(w) = io.inputs[0].pop() {
+                self.pending.push(w.wrapping_mul(2));
+            }
+            if self.delay_left > 0 {
+                self.delay_left -= 1;
+                return;
+            }
+            for w in self.pending.drain(..) {
+                io.outputs[0].push(w).expect("output fifo sized for test");
+            }
+            self.busy = false;
+        }
+    }
+
+    #[test]
+    fn socket_round_trip() {
+        let mut s = RacSocket::new(Box::new(Doubler::new()), 16);
+        s.push_input(0, 21).unwrap();
+        s.start(0);
+        let cycles = s.run_until_done(100);
+        assert_eq!(cycles, 6);
+        assert_eq!(s.pop_output(0).unwrap(), 42);
+        assert!(s.all_fifos_empty());
+    }
+
+    #[test]
+    fn busy_cycles_counted() {
+        let mut s = RacSocket::new(Box::new(Doubler::new()), 16);
+        s.push_input(0, 1).unwrap();
+        s.start(0);
+        s.run_until_done(100);
+        assert_eq!(s.busy_cycles(), 6);
+    }
+
+    #[test]
+    fn bad_fifo_index_rejected() {
+        let mut s = RacSocket::new(Box::new(Doubler::new()), 16);
+        assert_eq!(
+            s.push_input(3, 0),
+            Err(RacError::NoSuchFifo {
+                index: 3,
+                input: true
+            })
+        );
+        assert_eq!(
+            s.pop_output(1),
+            Err(RacError::NoSuchFifo {
+                index: 1,
+                input: false
+            })
+        );
+    }
+
+    #[test]
+    fn overflow_surfaces_as_rac_error() {
+        let mut s = RacSocket::new(Box::new(Doubler::new()), 1);
+        s.push_input(0, 1).unwrap();
+        assert_eq!(s.push_input(0, 2), Err(RacError::Fifo(FifoError::Overflow)));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = RacSocket::new(Box::new(Doubler::new()), 16);
+        s.push_input(0, 1).unwrap();
+        s.start(0);
+        s.reset();
+        assert!(!s.busy());
+        assert!(s.all_fifos_empty());
+        assert_eq!(s.busy_cycles(), 0);
+    }
+
+    #[test]
+    fn space_and_available_accounting() {
+        let mut s = RacSocket::new(Box::new(Doubler::new()), 4);
+        assert_eq!(s.input_space(0), 4);
+        s.push_input(0, 1).unwrap();
+        assert_eq!(s.input_space(0), 3);
+        assert_eq!(s.output_available(0), 0);
+        s.start(0);
+        s.run_until_done(100);
+        assert_eq!(s.output_available(0), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the accelerator data paths: fixed-point kernels
+//! track their floating-point golden models over arbitrary inputs, and
+//! the streaming RACs preserve their algebraic identities.
+
+use proptest::prelude::*;
+
+use ouessant_rac::dft::{dft_f64, dft_fixed, dft_latency};
+use ouessant_rac::fixed::{from_q15, q15_mul, Q15_ONE};
+use ouessant_rac::idct::{idct_2d_f64, idct_2d_fixed};
+use ouessant_rac::passthrough::PassthroughRac;
+use ouessant_rac::rac::RacSocket;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fixed-point 2-D IDCT tracks the f64 reference within one LSB for
+    /// the full JPEG coefficient range.
+    #[test]
+    fn idct_fixed_tracks_golden(coeffs in prop::collection::vec(-2048i32..=2047, 64)) {
+        let fixed = idct_2d_fixed(&coeffs);
+        let golden = idct_2d_f64(&coeffs.iter().map(|&c| f64::from(c)).collect::<Vec<_>>());
+        for (f, g) in fixed.iter().zip(&golden) {
+            prop_assert!((f64::from(*f) - g).abs() <= 1.0, "fixed {f} vs golden {g}");
+        }
+    }
+
+    /// IDCT linearity: IDCT(a + b) == IDCT(a) + IDCT(b) within rounding.
+    #[test]
+    fn idct_is_linear(
+        a in prop::collection::vec(-900i32..=900, 64),
+        b in prop::collection::vec(-900i32..=900, 64),
+    ) {
+        let sum: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ia = idct_2d_fixed(&a);
+        let ib = idct_2d_fixed(&b);
+        let isum = idct_2d_fixed(&sum);
+        for i in 0..64 {
+            let linear = ia[i] + ib[i];
+            prop_assert!(
+                (isum[i] - linear).abs() <= 2,
+                "index {i}: {} vs {}",
+                isum[i],
+                linear
+            );
+        }
+    }
+
+    /// Fixed-point FFT tracks the f64 reference (scaled DFT) over
+    /// arbitrary Q15 inputs.
+    #[test]
+    fn dft_fixed_tracks_golden(
+        log_n in 3u32..=6,
+        seed_samples in prop::collection::vec(
+            (-Q15_ONE / 2..Q15_ONE / 2, -Q15_ONE / 2..Q15_ONE / 2),
+            64,
+        )
+    ) {
+        let samples = &seed_samples[..1 << log_n];
+        let golden = dft_f64(
+            &samples.iter().map(|&(r, i)| (from_q15(r), from_q15(i))).collect::<Vec<_>>(),
+        );
+        let fixed = dft_fixed(samples);
+        let bound = 24.0 / f64::from(Q15_ONE);
+        for ((fr, fi), (gr, gi)) in fixed.iter().zip(&golden) {
+            prop_assert!((from_q15(*fr) - gr).abs() < bound);
+            prop_assert!((from_q15(*fi) - gi).abs() < bound);
+        }
+    }
+
+    /// Parseval-flavoured bound: the scaled DFT of a bounded signal is
+    /// bounded (no internal overflow for |x| <= 0.5).
+    #[test]
+    fn dft_never_overflows_for_bounded_input(
+        samples in prop::collection::vec(
+            (-Q15_ONE / 2..Q15_ONE / 2, -Q15_ONE / 2..Q15_ONE / 2),
+            64,
+        )
+    ) {
+        for (re, im) in dft_fixed(&samples) {
+            prop_assert!(re.abs() <= Q15_ONE && im.abs() <= Q15_ONE);
+        }
+    }
+
+    /// The latency model is monotone and superlinear in N.
+    #[test]
+    fn dft_latency_monotone(log_n in 3u32..12) {
+        let n = 1usize << log_n;
+        prop_assert!(dft_latency(2 * n) > dft_latency(n));
+        prop_assert!(dft_latency(2 * n) < 4 * dft_latency(n));
+    }
+
+    /// Q15 multiplication is commutative and bounded.
+    #[test]
+    fn q15_mul_properties(a in -Q15_ONE..=Q15_ONE, b in -Q15_ONE..=Q15_ONE) {
+        prop_assert_eq!(q15_mul(a, b), q15_mul(b, a));
+        // |a*b| <= |a| for |b| <= 1.0 (plus rounding slack).
+        prop_assert!(q15_mul(a, b).abs() <= a.abs().max(1) + 1);
+    }
+
+    /// A passthrough RAC delivers any word stream unchanged, in order,
+    /// for any FIFO depth that can hold the stream.
+    #[test]
+    fn passthrough_preserves_streams(
+        words in prop::collection::vec(any::<u32>(), 1..200),
+    ) {
+        let mut socket = RacSocket::new(Box::new(PassthroughRac::new(0)), words.len().max(4));
+        for &w in &words {
+            socket.push_input(0, w).expect("depth sized to stream");
+        }
+        socket.start(u16::try_from(words.len()).expect("test sizes fit"));
+        socket.run_until_done(1_000_000);
+        for &w in &words {
+            prop_assert_eq!(socket.pop_output(0).expect("present"), w);
+        }
+    }
+}

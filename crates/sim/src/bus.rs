@@ -1,0 +1,1043 @@
+//! An AHB-like system bus: arbiter, address decode, burst transfers.
+//!
+//! The paper integrates the OCP "in a classical way, meaning as a regular
+//! peripheral (usually on the communication bus)" — on its Leon3 platform
+//! that bus is AMBA2 AHB. This model reproduces the AHB timing structure
+//! that the paper's transfer results (≈1.5 cycles per word, §V-B) depend
+//! on:
+//!
+//! * a single shared data path with one active transaction at a time;
+//! * an arbitration cycle (grant) followed by an address cycle;
+//! * data beats of one word per cycle plus per-slave wait states (a
+//!   higher first-access penalty models the external SRAM of the
+//!   paper's Nexys4 board);
+//! * long transfers split into sub-bursts of at most
+//!   [`BusConfig::max_burst_beats`] beats (AHB INCR16), with
+//!   re-arbitration between sub-bursts so other masters can interleave.
+//!
+//! Masters interact through a polling interface that mirrors bus-request/
+//! bus-grant signalling: [`Bus::try_begin`] raises the request,
+//! [`Bus::tick`] advances one clock cycle, [`Bus::poll`] samples the
+//! port, and [`Bus::take_completion`] retires the finished transaction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::clock::Cycle;
+use crate::trace::Trace;
+
+/// A byte address on the system bus.
+pub type Addr = u32;
+
+/// Identifies a registered bus master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MasterId(usize);
+
+impl MasterId {
+    /// The raw index (registration order, which is also the fixed
+    /// arbitration priority).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    pub(crate) fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+impl fmt::Display for MasterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Transfer from slave to master.
+    Read,
+    /// Transfer from master to slave.
+    Write,
+}
+
+impl fmt::Display for TxnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnKind::Read => f.write_str("read"),
+            TxnKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A transaction request: a word-aligned address plus a burst of beats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRequest {
+    kind: TxnKind,
+    addr: Addr,
+    beats: u16,
+    data: Vec<u32>,
+}
+
+impl TxnRequest {
+    /// A burst read of `beats` words starting at `addr`.
+    #[must_use]
+    pub fn read(addr: Addr, beats: u16) -> Self {
+        Self {
+            kind: TxnKind::Read,
+            addr,
+            beats,
+            data: Vec::new(),
+        }
+    }
+
+    /// A single-word read.
+    #[must_use]
+    pub fn read_word(addr: Addr) -> Self {
+        Self::read(addr, 1)
+    }
+
+    /// A burst write of `data` starting at `addr`.
+    #[must_use]
+    pub fn write(addr: Addr, data: Vec<u32>) -> Self {
+        let beats = data.len() as u16;
+        Self {
+            kind: TxnKind::Write,
+            addr,
+            beats,
+            data,
+        }
+    }
+
+    /// A single-word write.
+    #[must_use]
+    pub fn write_word(addr: Addr, value: u32) -> Self {
+        Self::write(addr, vec![value])
+    }
+
+    /// The transaction kind.
+    #[must_use]
+    pub fn kind(&self) -> TxnKind {
+        self.kind
+    }
+
+    /// The start address.
+    #[must_use]
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Number of data beats.
+    #[must_use]
+    pub fn beats(&self) -> u16 {
+        self.beats
+    }
+
+    /// The write payload (empty for reads).
+    #[must_use]
+    pub fn write_data(&self) -> &[u32] {
+        &self.data
+    }
+}
+
+/// The result of a finished transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Transaction kind.
+    pub kind: TxnKind,
+    /// Start address.
+    pub addr: Addr,
+    /// Read data (empty for writes).
+    pub data: Vec<u32>,
+    /// Cycle at which [`Bus::try_begin`] accepted the request.
+    pub issued_at: Cycle,
+    /// Cycle at which the final beat completed.
+    pub completed_at: Cycle,
+    /// Total cycles from issue to completion.
+    pub cycles: u64,
+}
+
+/// State of a master port as seen by [`Bus::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortState {
+    /// No transaction outstanding.
+    Idle,
+    /// A transaction is queued or in flight.
+    Pending,
+    /// A completion is waiting to be taken.
+    Complete,
+}
+
+impl PortState {
+    /// Whether a transaction is still in flight.
+    #[must_use]
+    pub fn is_pending(self) -> bool {
+        matches!(self, PortState::Pending)
+    }
+
+    /// Whether [`Bus::take_completion`] would return `Some`.
+    #[must_use]
+    pub fn is_complete(self) -> bool {
+        matches!(self, PortState::Complete)
+    }
+}
+
+/// A fault raised by a slave during a beat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlaveFault {
+    /// Explanation (e.g. `"offset out of range"`).
+    pub reason: String,
+}
+
+impl fmt::Display for SlaveFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slave fault: {}", self.reason)
+    }
+}
+
+impl Error for SlaveFault {}
+
+/// A memory-mapped peripheral or memory on the bus.
+///
+/// Offsets are byte offsets from the slave's base address, always
+/// word-aligned. Wait states let a slave model its access latency; the
+/// bus charges `first_access_wait_states` before the first beat of every
+/// sub-burst and `sequential_wait_states` between subsequent beats.
+pub trait BusSlave {
+    /// Name used in traces and error messages.
+    fn name(&self) -> &str;
+
+    /// Size of the slave's address window in bytes.
+    fn size(&self) -> u32;
+
+    /// Reads the word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SlaveFault`] for offsets the device cannot serve.
+    fn read_word(&mut self, offset: u32) -> Result<u32, SlaveFault>;
+
+    /// Writes the word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SlaveFault`] for offsets the device cannot serve.
+    fn write_word(&mut self, offset: u32, value: u32) -> Result<(), SlaveFault>;
+
+    /// Wait states before the first beat of a sub-burst.
+    fn first_access_wait_states(&self) -> u32 {
+        0
+    }
+
+    /// Wait states between subsequent beats of a sub-burst.
+    fn sequential_wait_states(&self) -> u32 {
+        0
+    }
+}
+
+/// Errors surfaced by [`Bus::try_begin`] or recorded in a completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// The master already has a transaction outstanding.
+    Busy,
+    /// The address is not word-aligned.
+    Unaligned {
+        /// Offending address.
+        addr: Addr,
+    },
+    /// A zero-beat transaction was requested.
+    EmptyBurst,
+    /// No slave is mapped at the address range.
+    Unmapped {
+        /// Offending address.
+        addr: Addr,
+    },
+    /// The burst would cross out of its slave's window.
+    CrossesSlaveBoundary {
+        /// Start address.
+        addr: Addr,
+        /// Number of beats.
+        beats: u16,
+    },
+    /// The slave faulted mid-transaction.
+    Fault(SlaveFault),
+    /// The master id was not obtained from this bus.
+    UnknownMaster,
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::Busy => f.write_str("master already has a transaction outstanding"),
+            BusError::Unaligned { addr } => write!(f, "address {addr:#010x} is not word-aligned"),
+            BusError::EmptyBurst => f.write_str("burst of zero beats"),
+            BusError::Unmapped { addr } => write!(f, "no slave mapped at {addr:#010x}"),
+            BusError::CrossesSlaveBoundary { addr, beats } => write!(
+                f,
+                "burst of {beats} beats at {addr:#010x} crosses its slave's window"
+            ),
+            BusError::Fault(e) => write!(f, "{e}"),
+            BusError::UnknownMaster => f.write_str("master id not registered on this bus"),
+        }
+    }
+}
+
+impl Error for BusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BusError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Arbitration policy between requesting masters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArbiterPolicy {
+    /// Lower [`MasterId`] always wins (AHB-style fixed priority; the
+    /// paper's Leon3 CPU is registered first and thus outranks the OCP).
+    #[default]
+    FixedPriority,
+    /// Rotating priority starting after the last grantee.
+    RoundRobin,
+}
+
+/// Static bus parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Maximum beats per sub-burst before re-arbitration (AHB INCR16
+    /// ⇒ 16).
+    pub max_burst_beats: u16,
+    /// Arbitration policy.
+    pub arbiter: ArbiterPolicy,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        Self {
+            max_burst_beats: 16,
+            arbiter: ArbiterPolicy::default(),
+        }
+    }
+}
+
+/// Aggregate bus statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BusStats {
+    /// Cycles ticked.
+    pub cycles: u64,
+    /// Cycles with a transaction occupying the data path (including
+    /// grant/address/wait cycles).
+    pub busy_cycles: u64,
+    /// Grants issued (one per sub-burst).
+    pub grants: u64,
+    /// Data beats completed.
+    pub beats: u64,
+    /// Cycles a master spent requesting while another held the bus.
+    pub contention_cycles: u64,
+}
+
+#[derive(Debug)]
+struct OutstandingTxn {
+    req: TxnRequest,
+    beats_done: u16,
+    read_data: Vec<u32>,
+    issued_at: Cycle,
+    slave_idx: usize,
+}
+
+#[derive(Debug)]
+struct MasterPort {
+    name: String,
+    outstanding: Option<OutstandingTxn>,
+    completion: Option<Result<Completion, BusError>>,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Grant issued this cycle; address phase next.
+    Granted,
+    /// Address phase done; counting down wait states before a beat.
+    Beat {
+        wait_left: u32,
+        sub_beats_left: u16,
+    },
+}
+
+#[derive(Debug)]
+struct ActiveGrant {
+    master: usize,
+    phase: Phase,
+}
+
+struct SlaveEntry {
+    base: Addr,
+    size: u32,
+    device: Box<dyn BusSlave>,
+}
+
+impl fmt::Debug for SlaveEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlaveEntry")
+            .field("base", &format_args!("{:#010x}", self.base))
+            .field("size", &self.size)
+            .field("device", &self.device.name())
+            .finish()
+    }
+}
+
+/// The AHB-like system bus.
+///
+/// See the [module documentation](self) for the timing model and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Bus {
+    config: BusConfig,
+    now: Cycle,
+    masters: Vec<MasterPort>,
+    slaves: Vec<SlaveEntry>,
+    active: Option<ActiveGrant>,
+    last_grantee: usize,
+    stats: BusStats,
+    /// Shared trace (disabled by default).
+    pub trace: Trace,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    #[must_use]
+    pub fn new(config: BusConfig) -> Self {
+        Self {
+            config,
+            now: Cycle::ZERO,
+            masters: Vec::new(),
+            slaves: Vec::new(),
+            active: None,
+            last_grantee: 0,
+            stats: BusStats::default(),
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// The bus configuration.
+    #[must_use]
+    pub fn config(&self) -> BusConfig {
+        self.config
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Registers a master; the returned id is also its fixed priority
+    /// (lower = higher priority).
+    pub fn register_master(&mut self, name: &str) -> MasterId {
+        self.masters.push(MasterPort {
+            name: name.to_string(),
+            outstanding: None,
+            completion: None,
+        });
+        MasterId(self.masters.len() - 1)
+    }
+
+    /// Maps `device` at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned or the window overlaps an
+    /// existing slave — both are static SoC integration errors.
+    pub fn add_slave(&mut self, base: Addr, device: impl BusSlave + 'static) {
+        assert_eq!(base % 4, 0, "slave base must be word-aligned");
+        let size = device.size();
+        assert!(size > 0, "slave window must be non-empty");
+        let end = base as u64 + size as u64;
+        for s in &self.slaves {
+            let s_end = s.base as u64 + s.size as u64;
+            assert!(
+                end <= s.base as u64 || s_end <= base as u64,
+                "slave window {:#010x}..{:#010x} overlaps {}",
+                base,
+                end,
+                s.device.name()
+            );
+        }
+        self.slaves.push(SlaveEntry {
+            base,
+            size,
+            device: Box::new(device),
+        });
+    }
+
+    /// Direct, un-timed access to a mapped slave for test setup and
+    /// result inspection (does not consume bus cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Unmapped`] or the slave's fault.
+    pub fn debug_read(&mut self, addr: Addr) -> Result<u32, BusError> {
+        let idx = self.decode(addr)?;
+        let offset = addr - self.slaves[idx].base;
+        self.slaves[idx]
+            .device
+            .read_word(offset)
+            .map_err(BusError::Fault)
+    }
+
+    /// Direct, un-timed write to a mapped slave (test setup only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Unmapped`] or the slave's fault.
+    pub fn debug_write(&mut self, addr: Addr, value: u32) -> Result<(), BusError> {
+        let idx = self.decode(addr)?;
+        let offset = addr - self.slaves[idx].base;
+        self.slaves[idx]
+            .device
+            .write_word(offset, value)
+            .map_err(BusError::Fault)
+    }
+
+    fn decode(&self, addr: Addr) -> Result<usize, BusError> {
+        self.slaves
+            .iter()
+            .position(|s| addr >= s.base && u64::from(addr) < s.base as u64 + s.size as u64)
+            .ok_or(BusError::Unmapped { addr })
+    }
+
+    /// Raises a bus request for `master`.
+    ///
+    /// Validation (alignment, mapping, boundary) happens immediately;
+    /// timing starts at the next [`Bus::tick`].
+    ///
+    /// # Errors
+    ///
+    /// See [`BusError`]. On `Err` nothing is queued.
+    pub fn try_begin(&mut self, master: MasterId, req: TxnRequest) -> Result<(), BusError> {
+        let port = self
+            .masters
+            .get(master.0)
+            .ok_or(BusError::UnknownMaster)?;
+        if port.outstanding.is_some() || port.completion.is_some() {
+            return Err(BusError::Busy);
+        }
+        if req.addr % 4 != 0 {
+            return Err(BusError::Unaligned { addr: req.addr });
+        }
+        if req.beats == 0 {
+            return Err(BusError::EmptyBurst);
+        }
+        let slave_idx = self.decode(req.addr)?;
+        let slave = &self.slaves[slave_idx];
+        let end = u64::from(req.addr) + u64::from(req.beats) * 4;
+        if end > slave.base as u64 + slave.size as u64 {
+            return Err(BusError::CrossesSlaveBoundary {
+                addr: req.addr,
+                beats: req.beats,
+            });
+        }
+        self.trace.record(
+            self.now,
+            "bus",
+            format!(
+                "{} requests {} of {} beats at {:#010x}",
+                self.masters[master.0].name, req.kind, req.beats, req.addr
+            ),
+        );
+        self.masters[master.0].outstanding = Some(OutstandingTxn {
+            read_data: Vec::with_capacity(if req.kind == TxnKind::Read {
+                req.beats as usize
+            } else {
+                0
+            }),
+            req,
+            beats_done: 0,
+            issued_at: self.now,
+            slave_idx,
+        });
+        Ok(())
+    }
+
+    /// Samples a master port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `master` was not registered on this bus.
+    #[must_use]
+    pub fn poll(&self, master: MasterId) -> PortState {
+        let port = &self.masters[master.0];
+        if port.completion.is_some() {
+            PortState::Complete
+        } else if port.outstanding.is_some() {
+            PortState::Pending
+        } else {
+            PortState::Idle
+        }
+    }
+
+    /// Retires a finished transaction, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`BusError::Fault`] recorded when a slave faulted
+    /// mid-burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `master` was not registered on this bus.
+    pub fn take_completion(&mut self, master: MasterId) -> Option<Result<Completion, BusError>> {
+        self.masters[master.0].completion.take()
+    }
+
+    /// Number of requesting masters currently *not* owning the bus.
+    fn count_contending(&self) -> u64 {
+        let owner = self.active.as_ref().map(|a| a.master);
+        self.masters
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| p.outstanding.is_some() && Some(*i) != owner)
+            .count() as u64
+    }
+
+    /// Advances the bus by one clock cycle.
+    pub fn tick(&mut self) {
+        self.now = self.now.next();
+        self.stats.cycles += 1;
+        self.stats.contention_cycles += self.count_contending();
+
+        match self.active.take() {
+            None => {
+                if let Some(winner) = self.arbitrate() {
+                    self.stats.grants += 1;
+                    self.stats.busy_cycles += 1;
+                    self.last_grantee = winner;
+                    self.trace.record(
+                        self.now,
+                        "bus",
+                        format!("grant to {}", self.masters[winner].name),
+                    );
+                    self.active = Some(ActiveGrant {
+                        master: winner,
+                        phase: Phase::Granted,
+                    });
+                }
+            }
+            Some(mut grant) => {
+                self.stats.busy_cycles += 1;
+                match grant.phase {
+                    Phase::Granted => {
+                        // Address phase: compute sub-burst length and the
+                        // first-access wait states.
+                        let txn = self.masters[grant.master]
+                            .outstanding
+                            .as_ref()
+                            .expect("granted master has an outstanding txn");
+                        let remaining = txn.req.beats - txn.beats_done;
+                        let sub = remaining.min(self.config.max_burst_beats);
+                        let wait = self.slaves[txn.slave_idx]
+                            .device
+                            .first_access_wait_states();
+                        grant.phase = Phase::Beat {
+                            wait_left: wait,
+                            sub_beats_left: sub,
+                        };
+                        self.active = Some(grant);
+                    }
+                    Phase::Beat {
+                        wait_left,
+                        sub_beats_left,
+                    } => {
+                        if wait_left > 0 {
+                            grant.phase = Phase::Beat {
+                                wait_left: wait_left - 1,
+                                sub_beats_left,
+                            };
+                            self.active = Some(grant);
+                            return;
+                        }
+                        // Complete one beat.
+                        let master_idx = grant.master;
+                        let port = &mut self.masters[master_idx];
+                        let txn = port
+                            .outstanding
+                            .as_mut()
+                            .expect("granted master has an outstanding txn");
+                        let beat_addr = txn.req.addr + u32::from(txn.beats_done) * 4;
+                        let slave = &mut self.slaves[txn.slave_idx];
+                        let offset = beat_addr - slave.base;
+                        let fault = match txn.req.kind {
+                            TxnKind::Read => match slave.device.read_word(offset) {
+                                Ok(v) => {
+                                    txn.read_data.push(v);
+                                    None
+                                }
+                                Err(e) => Some(e),
+                            },
+                            TxnKind::Write => {
+                                let value = txn.req.data[txn.beats_done as usize];
+                                slave.device.write_word(offset, value).err()
+                            }
+                        };
+                        self.stats.beats += 1;
+                        txn.beats_done += 1;
+
+                        if let Some(fault) = fault {
+                            let txn = port.outstanding.take().expect("present");
+                            port.completion = Some(Err(BusError::Fault(fault)));
+                            self.trace.record(
+                                self.now,
+                                "bus",
+                                format!("fault at {:#010x}", txn.req.addr),
+                            );
+                            return;
+                        }
+
+                        let txn_done = txn.beats_done == txn.req.beats;
+                        if txn_done {
+                            let txn = port.outstanding.take().expect("present");
+                            let completion = Completion {
+                                kind: txn.req.kind,
+                                addr: txn.req.addr,
+                                data: txn.read_data,
+                                issued_at: txn.issued_at,
+                                completed_at: self.now,
+                                cycles: self.now.count() - txn.issued_at.count(),
+                            };
+                            self.trace.record(
+                                self.now,
+                                "bus",
+                                format!(
+                                    "{} completes {} ({} beats, {} cy)",
+                                    port.name, txn.req.kind, txn.req.beats, completion.cycles
+                                ),
+                            );
+                            port.completion = Some(Ok(completion));
+                            // Bus returns to arbitration next cycle.
+                        } else if sub_beats_left == 1 {
+                            // Sub-burst boundary: release the bus and
+                            // re-arbitrate (the transaction stays queued).
+                            self.trace.record(
+                                self.now,
+                                "bus",
+                                format!("{} sub-burst boundary", port.name),
+                            );
+                        } else {
+                            let wait = self.slaves[self.masters[master_idx]
+                                .outstanding
+                                .as_ref()
+                                .expect("present")
+                                .slave_idx]
+                                .device
+                                .sequential_wait_states();
+                            grant.phase = Phase::Beat {
+                                wait_left: wait,
+                                sub_beats_left: sub_beats_left - 1,
+                            };
+                            self.active = Some(grant);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn arbitrate(&self) -> Option<usize> {
+        let n = self.masters.len();
+        if n == 0 {
+            return None;
+        }
+        match self.config.arbiter {
+            ArbiterPolicy::FixedPriority => (0..n).find(|&i| self.masters[i].outstanding.is_some()),
+            ArbiterPolicy::RoundRobin => (1..=n)
+                .map(|d| (self.last_grantee + d) % n)
+                .find(|&i| self.masters[i].outstanding.is_some()),
+        }
+    }
+
+    /// Runs the bus until `master`'s transaction completes, returning
+    /// the completion. Convenience for tests and simple masters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults recorded during the burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is outstanding or after a defensive
+    /// 10-million-cycle bound is exceeded.
+    pub fn run_to_completion(&mut self, master: MasterId) -> Result<Completion, BusError> {
+        assert!(
+            self.poll(master) != PortState::Idle,
+            "no transaction outstanding"
+        );
+        let mut fuel = 10_000_000u64;
+        while self.poll(master).is_pending() {
+            self.tick();
+            fuel -= 1;
+            assert!(fuel > 0, "bus transaction did not complete");
+        }
+        self.take_completion(master).expect("completion present")
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{Sram, SramConfig};
+
+    fn bus_with_sram() -> (Bus, MasterId) {
+        let mut bus = Bus::new(BusConfig::default());
+        let m = bus.register_master("cpu");
+        bus.add_slave(0x4000_0000, Sram::with_words(1024, SramConfig::no_wait()));
+        (bus, m)
+    }
+
+    #[test]
+    fn single_write_then_read() {
+        let (mut bus, m) = bus_with_sram();
+        bus.try_begin(m, TxnRequest::write_word(0x4000_0010, 0xDEAD_BEEF))
+            .unwrap();
+        bus.run_to_completion(m).unwrap();
+        bus.try_begin(m, TxnRequest::read_word(0x4000_0010)).unwrap();
+        let c = bus.run_to_completion(m).unwrap();
+        assert_eq!(c.data, vec![0xDEAD_BEEF]);
+    }
+
+    #[test]
+    fn single_beat_timing_no_wait_states() {
+        let (mut bus, m) = bus_with_sram();
+        bus.try_begin(m, TxnRequest::write_word(0x4000_0000, 1)).unwrap();
+        let c = bus.run_to_completion(m).unwrap();
+        // grant + address + 1 beat = 3 cycles.
+        assert_eq!(c.cycles, 3);
+    }
+
+    #[test]
+    fn burst_timing_no_wait_states() {
+        let (mut bus, m) = bus_with_sram();
+        bus.try_begin(m, TxnRequest::write(0x4000_0000, vec![0; 16]))
+            .unwrap();
+        let c = bus.run_to_completion(m).unwrap();
+        // grant + address + 16 beats = 18 cycles.
+        assert_eq!(c.cycles, 18);
+    }
+
+    #[test]
+    fn long_burst_splits_into_sub_bursts() {
+        let (mut bus, m) = bus_with_sram();
+        bus.try_begin(m, TxnRequest::write(0x4000_0000, vec![0; 64]))
+            .unwrap();
+        let c = bus.run_to_completion(m).unwrap();
+        // 4 sub-bursts of (grant + address + 16 beats) = 4 * 18 = 72.
+        assert_eq!(c.cycles, 72);
+        assert_eq!(bus.stats().grants, 4);
+    }
+
+    #[test]
+    fn wait_states_charged() {
+        let mut bus = Bus::new(BusConfig::default());
+        let m = bus.register_master("cpu");
+        bus.add_slave(
+            0,
+            Sram::with_words(
+                64,
+                SramConfig {
+                    first_access_wait_states: 3,
+                    sequential_wait_states: 1,
+                },
+            ),
+        );
+        bus.try_begin(m, TxnRequest::read(0, 4)).unwrap();
+        let c = bus.run_to_completion(m).unwrap();
+        // grant + address + (3 wait + beat) + 3 * (1 wait + beat) = 12.
+        assert_eq!(c.cycles, 12);
+    }
+
+    #[test]
+    fn read_returns_data_in_order() {
+        let (mut bus, m) = bus_with_sram();
+        for i in 0..8u32 {
+            bus.debug_write(0x4000_0000 + i * 4, i * 11).unwrap();
+        }
+        bus.try_begin(m, TxnRequest::read(0x4000_0000, 8)).unwrap();
+        let c = bus.run_to_completion(m).unwrap();
+        assert_eq!(c.data, (0..8u32).map(|i| i * 11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn busy_master_rejected() {
+        let (mut bus, m) = bus_with_sram();
+        bus.try_begin(m, TxnRequest::read_word(0x4000_0000)).unwrap();
+        assert_eq!(
+            bus.try_begin(m, TxnRequest::read_word(0x4000_0000)),
+            Err(BusError::Busy)
+        );
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let (mut bus, m) = bus_with_sram();
+        assert_eq!(
+            bus.try_begin(m, TxnRequest::read_word(0x4000_0002)),
+            Err(BusError::Unaligned { addr: 0x4000_0002 })
+        );
+    }
+
+    #[test]
+    fn unmapped_rejected() {
+        let (mut bus, m) = bus_with_sram();
+        assert_eq!(
+            bus.try_begin(m, TxnRequest::read_word(0x9000_0000)),
+            Err(BusError::Unmapped { addr: 0x9000_0000 })
+        );
+    }
+
+    #[test]
+    fn boundary_crossing_rejected() {
+        let (mut bus, m) = bus_with_sram();
+        // SRAM is 1024 words = 4096 bytes at 0x4000_0000.
+        assert_eq!(
+            bus.try_begin(m, TxnRequest::read(0x4000_0FFC, 2)),
+            Err(BusError::CrossesSlaveBoundary {
+                addr: 0x4000_0FFC,
+                beats: 2
+            })
+        );
+    }
+
+    #[test]
+    fn empty_burst_rejected() {
+        let (mut bus, m) = bus_with_sram();
+        assert_eq!(
+            bus.try_begin(m, TxnRequest::read(0x4000_0000, 0)),
+            Err(BusError::EmptyBurst)
+        );
+    }
+
+    #[test]
+    fn fixed_priority_prefers_lower_id() {
+        let mut bus = Bus::new(BusConfig::default());
+        let cpu = bus.register_master("cpu");
+        let ocp = bus.register_master("ocp");
+        bus.add_slave(0, Sram::with_words(256, SramConfig::no_wait()));
+        bus.try_begin(ocp, TxnRequest::read(0, 16)).unwrap();
+        bus.try_begin(cpu, TxnRequest::read_word(0x40)).unwrap();
+        // CPU (id 0) should win arbitration even though OCP asked the
+        // same cycle.
+        let c_cpu = {
+            while bus.poll(cpu).is_pending() {
+                bus.tick();
+            }
+            bus.take_completion(cpu).unwrap().unwrap()
+        };
+        while bus.poll(ocp).is_pending() {
+            bus.tick();
+        }
+        let c_ocp = bus.take_completion(ocp).unwrap().unwrap();
+        assert!(c_cpu.completed_at < c_ocp.completed_at);
+        assert!(bus.stats().contention_cycles > 0);
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut bus = Bus::new(BusConfig {
+            arbiter: ArbiterPolicy::RoundRobin,
+            ..BusConfig::default()
+        });
+        let a = bus.register_master("a");
+        let b = bus.register_master("b");
+        bus.add_slave(0, Sram::with_words(256, SramConfig::no_wait()));
+        // Issue many single transfers from both; each should make
+        // progress without starvation.
+        let mut done_a = 0;
+        let mut done_b = 0;
+        bus.try_begin(a, TxnRequest::read_word(0)).unwrap();
+        bus.try_begin(b, TxnRequest::read_word(4)).unwrap();
+        for _ in 0..200 {
+            bus.tick();
+            if bus.poll(a).is_complete() {
+                bus.take_completion(a).unwrap().unwrap();
+                done_a += 1;
+                bus.try_begin(a, TxnRequest::read_word(0)).unwrap();
+            }
+            if bus.poll(b).is_complete() {
+                bus.take_completion(b).unwrap().unwrap();
+                done_b += 1;
+                bus.try_begin(b, TxnRequest::read_word(4)).unwrap();
+            }
+        }
+        assert!(done_a > 10 && done_b > 10);
+        assert!((i64::from(done_a) - i64::from(done_b)).abs() <= 1);
+    }
+
+    #[test]
+    fn slave_fault_mid_burst_reported() {
+        struct Flaky;
+        impl BusSlave for Flaky {
+            fn name(&self) -> &str {
+                "flaky"
+            }
+            fn size(&self) -> u32 {
+                64
+            }
+            fn read_word(&mut self, offset: u32) -> Result<u32, SlaveFault> {
+                if offset >= 8 {
+                    Err(SlaveFault {
+                        reason: "beyond implemented range".into(),
+                    })
+                } else {
+                    Ok(0)
+                }
+            }
+            fn write_word(&mut self, _: u32, _: u32) -> Result<(), SlaveFault> {
+                Ok(())
+            }
+        }
+        let mut bus = Bus::new(BusConfig::default());
+        let m = bus.register_master("cpu");
+        bus.add_slave(0, Flaky);
+        bus.try_begin(m, TxnRequest::read(0, 4)).unwrap();
+        let err = bus.run_to_completion(m).unwrap_err();
+        assert!(matches!(err, BusError::Fault(_)));
+    }
+
+    #[test]
+    fn overlapping_slaves_panic() {
+        let mut bus = Bus::new(BusConfig::default());
+        bus.add_slave(0, Sram::with_words(256, SramConfig::no_wait()));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bus.add_slave(0x100, Sram::with_words(256, SramConfig::no_wait()));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut bus, m) = bus_with_sram();
+        bus.try_begin(m, TxnRequest::write(0x4000_0000, vec![0; 32]))
+            .unwrap();
+        bus.run_to_completion(m).unwrap();
+        let s = bus.stats();
+        assert_eq!(s.beats, 32);
+        assert_eq!(s.grants, 2);
+        assert!(s.busy_cycles <= s.cycles);
+    }
+
+    #[test]
+    fn idle_bus_ticks_without_work() {
+        let (mut bus, m) = bus_with_sram();
+        for _ in 0..10 {
+            bus.tick();
+        }
+        assert_eq!(bus.poll(m), PortState::Idle);
+        assert_eq!(bus.stats().busy_cycles, 0);
+        assert_eq!(bus.now().count(), 10);
+    }
+}

@@ -1,0 +1,64 @@
+//! # Cycle-level SoC simulation substrate
+//!
+//! The DATE 2016 Ouessant paper evaluates its coprocessor on a Leon3
+//! SoC (AMBA2 AHB bus, external SRAM) synthesized onto an Artix-7 FPGA.
+//! This crate rebuilds that *platform* as a cycle-level behavioral
+//! simulation so the Ouessant architecture (crate `ouessant`) can be
+//! exercised and measured without HDL:
+//!
+//! * [`clock`] — cycle bookkeeping and frequency conversion (the paper's
+//!   system clock is 50 MHz);
+//! * [`fifo`] — synchronous FIFOs and the paper's *variable width* FIFOs
+//!   with serializing/deserializing behaviour (Figure 2's 32 ↔ 96-bit
+//!   example);
+//! * [`bus`] — an AHB-like system bus: arbiter, one outstanding
+//!   transaction, burst transfers split into sub-bursts, per-slave wait
+//!   states;
+//! * [`axi`] — an AXI-lite-like alternative with independent read/write
+//!   channels (the paper's announced Zynq/AXI4 integration);
+//! * [`memory`] — an SRAM model with configurable first-access and
+//!   sequential-beat wait states;
+//! * [`trace`] — optional event tracing shared by all components.
+//!
+//! Everything is deterministic and single-threaded: hardware concurrency
+//! is modeled by explicit `tick()` calls, one per clock cycle.
+//!
+//! ## Example
+//!
+//! A master moving a burst through the bus into SRAM:
+//!
+//! ```
+//! use ouessant_sim::bus::{Bus, BusConfig, TxnRequest};
+//! use ouessant_sim::memory::{Sram, SramConfig};
+//!
+//! let mut bus = Bus::new(BusConfig::default());
+//! let master = bus.register_master("cpu");
+//! bus.add_slave(0x4000_0000, Sram::with_words(0x1000, SramConfig::default()));
+//!
+//! bus.try_begin(master, TxnRequest::write(0x4000_0000, vec![1, 2, 3, 4]))?;
+//! while bus.poll(master).is_pending() {
+//!     bus.tick();
+//! }
+//! let done = bus.take_completion(master).expect("transaction finished")?;
+//! assert!(done.cycles > 4); // 4 beats + arbitration + wait states
+//! # Ok::<(), ouessant_sim::bus::BusError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axi;
+pub mod bus;
+pub mod clock;
+pub mod fifo;
+pub mod memory;
+pub mod trace;
+pub mod vcd;
+
+pub use axi::{AxiBus, AxiConfig, SystemBus};
+pub use bus::{Bus, BusConfig, BusError, Completion, MasterId, TxnKind, TxnRequest};
+pub use clock::{Cycle, Frequency};
+pub use fifo::{FifoError, SyncFifo, WidthAdapter};
+pub use memory::{Sram, SramConfig};
+pub use trace::{Trace, TraceEvent};
+pub use vcd::{SignalId, VcdWriter};

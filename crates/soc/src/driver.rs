@@ -1,0 +1,374 @@
+//! The user-facing driver API of the paper's §IV.
+//!
+//! "One aim of Ouessant is to provide seamless hardware acceleration
+//! for end users. … Integrating an hardware accelerator using an OCP in
+//! a software project requires very little modification." §IV describes
+//! the two environments — baremetal (trivial) and Linux, where the
+//! driver's job is to avoid user/kernel data copies; "in the Ouessant
+//! Linux driver, the mmap solution is used. This allows kernel space
+//! memory to be mapped in user space applications."
+//!
+//! [`OuessantDevice`] is that driver's API surface, with the cycle cost
+//! of every crossing charged according to the configured [`OsModel`]:
+//!
+//! * [`OuessantDevice::open`] — `open(2)` + buffer setup (one-time);
+//! * [`OuessantDevice::write_input`]-style buffer accesses: free under the mmap
+//!   driver (shared pages), `copy_from_user` under the copying driver;
+//! * [`OuessantDevice::submit_and_wait`] — the ioctl/read pair: two
+//!   syscalls + driver bookkeeping + cache management, then the offload.
+
+use std::error::Error;
+use std::fmt;
+
+use ouessant_isa::Program;
+use ouessant_rac::rac::Rac;
+use ouessant_sim::bus::Addr;
+
+use crate::os::OsModel;
+use crate::soc::{Soc, SocConfig, SocError};
+
+/// One-time cost of `open(2)` plus driver buffer allocation and (for
+/// the mmap driver) the `mmap(2)` call, in cycles.
+pub const OPEN_COST_CYCLES: u64 = 2_500;
+
+/// The device's shared buffers, as bank assignments.
+const PROGRAM_BANK: u8 = 0;
+const INPUT_BANK: u8 = 1;
+const OUTPUT_BANK: u8 = 2;
+
+/// Errors surfaced by the driver API.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The underlying system failed.
+    Soc(SocError),
+    /// A buffer access was out of range.
+    BufferOverrun {
+        /// Requested length in words.
+        requested: usize,
+        /// Buffer capacity in words.
+        capacity: usize,
+    },
+    /// `submit_and_wait` called before microcode was loaded.
+    NoMicrocode,
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Soc(e) => write!(f, "{e}"),
+            DriverError::BufferOverrun {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "buffer access of {requested} words exceeds the {capacity}-word buffer"
+            ),
+            DriverError::NoMicrocode => f.write_str("no microcode loaded"),
+        }
+    }
+}
+
+impl Error for DriverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DriverError::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SocError> for DriverError {
+    fn from(e: SocError) -> Self {
+        DriverError::Soc(e)
+    }
+}
+
+/// Accounting of one driver call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriverStats {
+    /// Machine cycles of the offload itself.
+    pub machine_cycles: u64,
+    /// OS cycles charged (syscalls, driver, cache, copies).
+    pub os_cycles: u64,
+    /// Words moved by the OCP.
+    pub words_transferred: u64,
+}
+
+impl DriverStats {
+    /// Total cycles of the call as seen by the application.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.machine_cycles + self.os_cycles
+    }
+}
+
+/// A handle to an Ouessant coprocessor, in the style of the §IV Linux
+/// driver.
+///
+/// # Examples
+///
+/// ```
+/// use ouessant_isa::assemble;
+/// use ouessant_rac::passthrough::PassthroughRac;
+/// use ouessant_soc::driver::OuessantDevice;
+/// use ouessant_soc::os::OsModel;
+///
+/// let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_mmap());
+/// dev.load_microcode(&assemble("mvtc BANK1,0,DMA8,FIFO0\nexecs 8\nmvfc BANK2,0,DMA8,FIFO0\neop")?)?;
+/// dev.write_input(&[1, 2, 3, 4, 5, 6, 7, 8])?;   // zero-copy: mmap'ed buffer
+/// let stats = dev.submit_and_wait()?;             // ioctl + wait
+/// assert_eq!(dev.read_output(8)?, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// assert!(stats.os_cycles >= 3_000);              // the Linux crossing
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct OuessantDevice {
+    soc: Soc,
+    os: OsModel,
+    microcode_len: Option<u32>,
+    program_at: Addr,
+    input_at: Addr,
+    output_at: Addr,
+    buffer_words: usize,
+    /// Cumulative OS cycles charged since `open`.
+    os_cycles_total: u64,
+}
+
+impl OuessantDevice {
+    /// Opens the device: allocates the kernel buffers and (for the mmap
+    /// driver) maps them into the application.
+    #[must_use]
+    pub fn open(rac: Box<dyn Rac>, os: OsModel) -> Self {
+        Self::open_with_config(rac, os, SocConfig::default())
+    }
+
+    /// Opens the device on a specific SoC configuration.
+    #[must_use]
+    pub fn open_with_config(rac: Box<dyn Rac>, os: OsModel, config: SocConfig) -> Self {
+        let soc = Soc::new(rac, config);
+        let ram = config.ram_base;
+        Self {
+            soc,
+            os,
+            microcode_len: None,
+            program_at: ram,
+            input_at: ram + 0x4000,
+            output_at: ram + 0x2_0000,
+            buffer_words: 0x1_0000 / 4,
+            os_cycles_total: OPEN_COST_CYCLES,
+        }
+    }
+
+    /// The OS model in effect.
+    #[must_use]
+    pub fn os(&self) -> OsModel {
+        self.os
+    }
+
+    /// Capacity of the input/output buffers, in words.
+    #[must_use]
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer_words
+    }
+
+    /// Cumulative OS cycles charged since `open` (including the open
+    /// itself).
+    #[must_use]
+    pub fn os_cycles_total(&self) -> u64 {
+        self.os_cycles_total
+    }
+
+    /// Loads microcode into the device's program buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::BufferOverrun`] if the program exceeds the buffer,
+    /// or a propagated [`SocError`].
+    pub fn load_microcode(&mut self, program: &Program) -> Result<(), DriverError> {
+        let words = program.to_words();
+        self.check_len(words.len())?;
+        self.soc.load_words(self.program_at, &words)?;
+        self.microcode_len = Some(program.len() as u32);
+        Ok(())
+    }
+
+    fn check_len(&self, len: usize) -> Result<(), DriverError> {
+        if len > self.buffer_words {
+            Err(DriverError::BufferOverrun {
+                requested: len,
+                capacity: self.buffer_words,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Writes the input buffer. Under the mmap driver this is a plain
+    /// store into shared pages (no OS cost); under the copying driver
+    /// the words cross the user/kernel boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::BufferOverrun`] or a propagated [`SocError`].
+    pub fn write_input(&mut self, words: &[u32]) -> Result<(), DriverError> {
+        self.check_len(words.len())?;
+        if let OsModel::LinuxCopy { per_word, .. } = self.os {
+            self.os_cycles_total += words.len() as u64 * per_word;
+        }
+        self.soc.load_words(self.input_at, words)?;
+        Ok(())
+    }
+
+    /// Reads the output buffer (same copy rules as
+    /// [`OuessantDevice::write_input`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::BufferOverrun`] or a propagated [`SocError`].
+    pub fn read_output(&mut self, words: usize) -> Result<Vec<u32>, DriverError> {
+        self.check_len(words)?;
+        if let OsModel::LinuxCopy { per_word, .. } = self.os {
+            self.os_cycles_total += words as u64 * per_word;
+        }
+        Ok(self.soc.read_words(self.output_at, words)?)
+    }
+
+    /// Submits the offload and blocks until completion — the driver's
+    /// ioctl + wait path, charging the OS crossing.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NoMicrocode`] before [`OuessantDevice::load_microcode`],
+    /// or a propagated [`SocError`] (fault, timeout).
+    pub fn submit_and_wait(&mut self) -> Result<DriverStats, DriverError> {
+        let prog_len = self.microcode_len.ok_or(DriverError::NoMicrocode)?;
+        let config_cycles = self.soc.configure(
+            &[
+                (PROGRAM_BANK, self.program_at),
+                (INPUT_BANK, self.input_at),
+                (OUTPUT_BANK, self.output_at),
+            ],
+            prog_len,
+        )?;
+        let report = self.soc.start_and_wait(100_000_000)?;
+        // The fixed OS crossing; per-word copy costs were charged at the
+        // buffer accesses (where the copies actually happen).
+        let os_cycles = match self.os {
+            OsModel::Baremetal => 0,
+            OsModel::LinuxMmap {
+                syscall,
+                driver,
+                cache,
+            }
+            | OsModel::LinuxCopy {
+                syscall,
+                driver,
+                cache,
+                ..
+            } => 2 * syscall + driver + cache,
+        };
+        self.os_cycles_total += os_cycles;
+        Ok(DriverStats {
+            machine_cycles: config_cycles + report.machine_cycles(),
+            os_cycles,
+            words_transferred: report.words_transferred,
+        })
+    }
+
+    /// The underlying system, for inspection.
+    #[must_use]
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouessant_isa::assemble;
+    use ouessant_rac::passthrough::PassthroughRac;
+
+    fn program() -> Program {
+        assemble("mvtc BANK1,0,DMA16,FIFO0\nexecs 16\nmvfc BANK2,0,DMA16,FIFO0\neop").unwrap()
+    }
+
+    #[test]
+    fn round_trip_through_device() {
+        let mut dev =
+            OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_mmap());
+        dev.load_microcode(&program()).unwrap();
+        let input: Vec<u32> = (0..16).map(|i| i * 3).collect();
+        dev.write_input(&input).unwrap();
+        let stats = dev.submit_and_wait().unwrap();
+        assert_eq!(dev.read_output(16).unwrap(), input);
+        assert_eq!(stats.words_transferred, 32);
+        assert_eq!(stats.os_cycles, 3_000);
+    }
+
+    #[test]
+    fn submit_without_microcode_rejected() {
+        let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::Baremetal);
+        assert!(matches!(
+            dev.submit_and_wait(),
+            Err(DriverError::NoMicrocode)
+        ));
+    }
+
+    #[test]
+    fn baremetal_has_no_os_cost_per_call() {
+        let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::Baremetal);
+        dev.load_microcode(&program()).unwrap();
+        dev.write_input(&[9; 16]).unwrap();
+        let stats = dev.submit_and_wait().unwrap();
+        assert_eq!(stats.os_cycles, 0);
+    }
+
+    #[test]
+    fn copying_driver_charges_buffer_accesses() {
+        let mut mmap_dev =
+            OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_mmap());
+        let mut copy_dev =
+            OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_copy());
+        for dev in [&mut mmap_dev, &mut copy_dev] {
+            dev.load_microcode(&program()).unwrap();
+            dev.write_input(&[1; 16]).unwrap();
+            dev.submit_and_wait().unwrap();
+            let _ = dev.read_output(16).unwrap();
+        }
+        assert!(
+            copy_dev.os_cycles_total() > mmap_dev.os_cycles_total(),
+            "copies must cost extra: {} vs {}",
+            copy_dev.os_cycles_total(),
+            mmap_dev.os_cycles_total()
+        );
+    }
+
+    #[test]
+    fn oversized_buffer_access_rejected() {
+        let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::Baremetal);
+        let too_big = vec![0u32; dev.buffer_capacity() + 1];
+        assert!(matches!(
+            dev.write_input(&too_big),
+            Err(DriverError::BufferOverrun { .. })
+        ));
+        assert!(matches!(
+            dev.read_output(dev.buffer_capacity() + 1),
+            Err(DriverError::BufferOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_submissions_reuse_microcode() {
+        let mut dev =
+            OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_mmap());
+        dev.load_microcode(&program()).unwrap();
+        for round in 0..3u32 {
+            let input: Vec<u32> = (0..16).map(|i| round * 100 + i).collect();
+            dev.write_input(&input).unwrap();
+            dev.submit_and_wait().unwrap();
+            assert_eq!(dev.read_output(16).unwrap(), input, "round {round}");
+        }
+        // open + 3 × crossing.
+        assert_eq!(dev.os_cycles_total(), OPEN_COST_CYCLES + 3 * 3_000);
+    }
+}

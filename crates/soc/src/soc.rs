@@ -1,0 +1,478 @@
+//! The assembled SoC: CPU master + SRAM + OCP on the system bus.
+//!
+//! This is the reproduction of the paper's evaluation platform: a Leon3
+//! CPU and an Ouessant coprocessor sharing an AHB bus with external
+//! SRAM, everything clocked at 50 MHz. The CPU is modeled as a bus
+//! master driving the OCP's registers (configuration, start, polling)
+//! plus the [`crate::cpu::CostModel`] for its software kernels.
+
+use std::error::Error;
+use std::fmt;
+
+use ouessant::controller::ExecError;
+use ouessant::ocp::{Ocp, OcpConfig};
+use ouessant_rac::rac::Rac;
+use ouessant_sim::bus::{Addr, Bus, BusConfig, BusError, PortState, TxnRequest};
+use ouessant_sim::memory::{Sram, SramConfig};
+use ouessant_sim::{MasterId, SystemBus};
+
+/// How the CPU learns that the OCP finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionMode {
+    /// The CPU reads the control register every `interval` cycles and
+    /// checks the D bit (costs bus bandwidth — visible as contention).
+    Polling {
+        /// Cycles between status reads.
+        interval: u64,
+    },
+    /// The CPU sleeps until the OCP raises its interrupt line (the IE
+    /// bit is set; the paper's measurements use "interrupt mode").
+    Interrupt,
+}
+
+impl Default for CompletionMode {
+    fn default() -> Self {
+        CompletionMode::Interrupt
+    }
+}
+
+/// Static SoC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocConfig {
+    /// Bus parameters.
+    pub bus: BusConfig,
+    /// SRAM timing.
+    pub sram: SramConfig,
+    /// SRAM size in 32-bit words.
+    pub sram_words: usize,
+    /// SRAM base address.
+    pub ram_base: Addr,
+    /// OCP register-window base address.
+    pub ocp_base: Addr,
+    /// OCP parameters (FIFO depth).
+    pub ocp: OcpConfig,
+    /// Completion signalling.
+    pub completion: CompletionMode,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        Self {
+            bus: BusConfig::default(),
+            sram: SramConfig::default(),
+            sram_words: 1 << 16, // 256 KiB, ample for every experiment
+            ram_base: 0x4000_0000,
+            ocp_base: 0x8000_0000,
+            ocp: OcpConfig::default(),
+            completion: CompletionMode::Interrupt,
+        }
+    }
+}
+
+/// Errors from full-system runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocError {
+    /// The OCP controller faulted.
+    Ocp(ExecError),
+    /// A CPU bus access failed.
+    Bus(BusError),
+    /// The offload did not finish within the cycle budget.
+    Timeout {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::Ocp(e) => write!(f, "coprocessor fault: {e}"),
+            SocError::Bus(e) => write!(f, "cpu bus access failed: {e}"),
+            SocError::Timeout { budget } => {
+                write!(f, "offload did not complete within {budget} cycles")
+            }
+        }
+    }
+}
+
+impl Error for SocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SocError::Ocp(e) => Some(e),
+            SocError::Bus(e) => Some(e),
+            SocError::Timeout { .. } => None,
+        }
+    }
+}
+
+impl From<BusError> for SocError {
+    fn from(e: BusError) -> Self {
+        SocError::Bus(e)
+    }
+}
+
+/// Cycle accounting of one offload, at machine level (OS overhead is
+/// layered on top by [`crate::app`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OffloadReport {
+    /// Cycles the CPU spent writing configuration registers and the
+    /// start bit.
+    pub config_cycles: u64,
+    /// Cycles from the start write to the CPU observing completion.
+    pub run_cycles: u64,
+    /// Data words the OCP moved.
+    pub words_transferred: u64,
+    /// The OCP's own busy time (program load + transfers + RAC).
+    pub ocp_active_cycles: u64,
+    /// Cycles the RAC kept the controller waiting.
+    pub rac_wait_cycles: u64,
+    /// Status polls the CPU issued (polling mode only).
+    pub polls: u64,
+}
+
+impl OffloadReport {
+    /// Total machine cycles of the offload (configuration + run).
+    #[must_use]
+    pub fn machine_cycles(&self) -> u64 {
+        self.config_cycles + self.run_cycles
+    }
+}
+
+/// The full system.
+#[derive(Debug)]
+pub struct Soc {
+    bus: Bus,
+    cpu: MasterId,
+    ocp: Ocp,
+    config: SocConfig,
+}
+
+impl Soc {
+    /// Builds the SoC around `rac`.
+    #[must_use]
+    pub fn new(rac: Box<dyn Rac>, config: SocConfig) -> Self {
+        let mut bus = Bus::new(config.bus);
+        let cpu = bus.register_master("cpu");
+        bus.add_slave(
+            config.ram_base,
+            Sram::with_words(config.sram_words, config.sram),
+        );
+        let ocp = Ocp::attach(&mut bus, config.ocp_base, rac, config.ocp);
+        if matches!(config.completion, CompletionMode::Interrupt) {
+            ocp.regs().set_irq_enabled(true);
+        }
+        Self {
+            bus,
+            cpu,
+            ocp,
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// The OCP (register handle, stats, fault inspection).
+    #[must_use]
+    pub fn ocp(&self) -> &Ocp {
+        &self.ocp
+    }
+
+    /// The bus (statistics).
+    #[must_use]
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Un-timed bulk load into RAM (standing in for data that is already
+    /// resident, e.g. written by a previous pipeline stage).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus mapping faults.
+    pub fn load_words(&mut self, addr: Addr, words: &[u32]) -> Result<(), SocError> {
+        for (i, w) in words.iter().enumerate() {
+            self.bus.debug_write(addr + (i as u32) * 4, *w)?;
+        }
+        Ok(())
+    }
+
+    /// Un-timed bulk read from RAM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus mapping faults.
+    pub fn read_words(&mut self, addr: Addr, count: usize) -> Result<Vec<u32>, SocError> {
+        (0..count)
+            .map(|i| {
+                self.bus
+                    .debug_read(addr + (i as u32) * 4)
+                    .map_err(SocError::from)
+            })
+            .collect()
+    }
+
+    fn tick_system(&mut self) {
+        self.ocp.tick(&mut self.bus);
+        SystemBus::tick(&mut self.bus);
+    }
+
+    /// A timed single-word CPU write (register programming).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors.
+    pub fn cpu_write(&mut self, addr: Addr, value: u32) -> Result<u64, SocError> {
+        self.bus
+            .try_begin(self.cpu, TxnRequest::write_word(addr, value))?;
+        let mut cycles = 0;
+        while self.bus.poll(self.cpu) == PortState::Pending {
+            self.tick_system();
+            cycles += 1;
+        }
+        self.bus
+            .take_completion(self.cpu)
+            .expect("completion present")?;
+        Ok(cycles)
+    }
+
+    /// A timed single-word CPU read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors.
+    pub fn cpu_read(&mut self, addr: Addr) -> Result<(u32, u64), SocError> {
+        self.bus
+            .try_begin(self.cpu, TxnRequest::read_word(addr))?;
+        let mut cycles = 0;
+        while self.bus.poll(self.cpu) == PortState::Pending {
+            self.tick_system();
+            cycles += 1;
+        }
+        let c = self
+            .bus
+            .take_completion(self.cpu)
+            .expect("completion present")?;
+        Ok((c.data[0], cycles))
+    }
+
+    /// Programs the OCP (banks + program size) through timed register
+    /// writes, exactly as the driver would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors.
+    pub fn configure(&mut self, banks: &[(u8, Addr)], prog_size: u32) -> Result<u64, SocError> {
+        let mut cycles = 0;
+        for &(bank, base) in banks {
+            cycles += self.cpu_write(
+                self.config.ocp_base + ouessant::regs::REG_BANK0 + 4 * u32::from(bank),
+                base,
+            )?;
+        }
+        cycles += self.cpu_write(
+            self.config.ocp_base + ouessant::regs::REG_PROG_SIZE,
+            prog_size,
+        )?;
+        Ok(cycles)
+    }
+
+    /// Writes the start bit and runs the system until the CPU observes
+    /// completion, returning the cycle accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::Ocp`] if the controller faults, [`SocError::Timeout`]
+    /// if `max_cycles` elapse first.
+    pub fn start_and_wait(&mut self, max_cycles: u64) -> Result<OffloadReport, SocError> {
+        let ie = matches!(self.config.completion, CompletionMode::Interrupt);
+        let ctrl_value = ouessant::regs::CTRL_S | if ie { ouessant::regs::CTRL_IE } else { 0 };
+        let config_cycles = self.cpu_write(
+            self.config.ocp_base + ouessant::regs::REG_CTRL,
+            ctrl_value,
+        )?;
+
+        let mut run_cycles = 0u64;
+        let mut polls = 0u64;
+        let mut poll_outstanding = false;
+        let mut next_poll = match self.config.completion {
+            CompletionMode::Polling { interval } => interval,
+            CompletionMode::Interrupt => u64::MAX,
+        };
+
+        loop {
+            self.tick_system();
+            run_cycles += 1;
+            if run_cycles > max_cycles {
+                return Err(SocError::Timeout { budget: max_cycles });
+            }
+            if let Some(fault) = self.ocp.fault() {
+                return Err(SocError::Ocp(fault.clone()));
+            }
+            match self.config.completion {
+                CompletionMode::Interrupt => {
+                    if self.ocp.irq().is_raised() {
+                        // Interrupt handler: acknowledge by reading CTRL.
+                        self.ocp.irq().clear();
+                        let (ctrl, ack_cycles) =
+                            self.cpu_read(self.config.ocp_base + ouessant::regs::REG_CTRL)?;
+                        run_cycles += ack_cycles;
+                        debug_assert!(ctrl & ouessant::regs::CTRL_D != 0);
+                        break;
+                    }
+                }
+                CompletionMode::Polling { interval } => {
+                    if poll_outstanding {
+                        if self.bus.poll(self.cpu) == PortState::Complete {
+                            let c = self
+                                .bus
+                                .take_completion(self.cpu)
+                                .expect("completion present")?;
+                            poll_outstanding = false;
+                            polls += 1;
+                            if c.data[0] & ouessant::regs::CTRL_D != 0 {
+                                break;
+                            }
+                            next_poll = run_cycles + interval;
+                        }
+                    } else if run_cycles >= next_poll {
+                        self.bus.try_begin(
+                            self.cpu,
+                            TxnRequest::read_word(
+                                self.config.ocp_base + ouessant::regs::REG_CTRL,
+                            ),
+                        )?;
+                        poll_outstanding = true;
+                    }
+                }
+            }
+        }
+
+        let stats = self.ocp.stats().controller;
+        Ok(OffloadReport {
+            config_cycles,
+            run_cycles,
+            words_transferred: stats.words_transferred,
+            ocp_active_cycles: stats.active_cycles,
+            rac_wait_cycles: stats.rac_wait_cycles,
+            polls,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouessant_isa::assemble;
+    use ouessant_rac::passthrough::PassthroughRac;
+
+    fn setup(completion: CompletionMode) -> (Soc, u32, u32, u32) {
+        let config = SocConfig {
+            completion,
+            ..SocConfig::default()
+        };
+        let mut soc = Soc::new(Box::new(PassthroughRac::new(0)), config);
+        let ram = soc.config().ram_base;
+        let prog_at = ram;
+        let in_at = ram + 0x1000;
+        let out_at = ram + 0x2000;
+        let program = assemble("mvtc BANK1,0,DMA16,FIFO0\nexecs 16\nmvfc BANK2,0,DMA16,FIFO0\neop")
+            .unwrap();
+        soc.load_words(prog_at, &program.to_words()).unwrap();
+        let input: Vec<u32> = (0..16).map(|i| 0xF00D_0000 + i).collect();
+        soc.load_words(in_at, &input).unwrap();
+        soc.configure(&[(0, prog_at), (1, in_at), (2, out_at)], program.len() as u32)
+            .unwrap();
+        (soc, prog_at, in_at, out_at)
+    }
+
+    #[test]
+    fn interrupt_mode_offload() {
+        let (mut soc, _, _, out_at) = setup(CompletionMode::Interrupt);
+        let report = soc.start_and_wait(100_000).unwrap();
+        assert_eq!(report.words_transferred, 32);
+        assert_eq!(report.polls, 0);
+        assert!(report.run_cycles > 32, "transfers take real time");
+        let out = soc.read_words(out_at, 16).unwrap();
+        assert_eq!(out[0], 0xF00D_0000);
+        assert_eq!(out[15], 0xF00D_000F);
+    }
+
+    #[test]
+    fn polling_mode_offload() {
+        let (mut soc, _, _, out_at) = setup(CompletionMode::Polling { interval: 50 });
+        let report = soc.start_and_wait(100_000).unwrap();
+        assert!(report.polls >= 1, "at least the final poll");
+        let out = soc.read_words(out_at, 16).unwrap();
+        assert_eq!(out[7], 0xF00D_0007);
+    }
+
+    #[test]
+    fn polling_creates_bus_contention() {
+        let (mut soc, ..) = setup(CompletionMode::Polling { interval: 10 });
+        soc.start_and_wait(100_000).unwrap();
+        assert!(
+            soc.bus().stats().contention_cycles > 0,
+            "aggressive polling must contend with OCP DMA"
+        );
+    }
+
+    #[test]
+    fn timeout_reported() {
+        // Program whose RAC never finishes (passthrough started for more
+        // words than provided).
+        let config = SocConfig::default();
+        let mut soc = Soc::new(Box::new(PassthroughRac::new(0)), config);
+        let ram = soc.config().ram_base;
+        let program = assemble("execs 4\neop").unwrap(); // wants 4 words, gets none
+        soc.load_words(ram, &program.to_words()).unwrap();
+        soc.configure(&[(0, ram)], program.len() as u32).unwrap();
+        assert_eq!(
+            soc.start_and_wait(5_000),
+            Err(SocError::Timeout { budget: 5_000 })
+        );
+    }
+
+    #[test]
+    fn ocp_fault_surfaces() {
+        let config = SocConfig::default();
+        let mut soc = Soc::new(Box::new(PassthroughRac::new(0)), config);
+        let ram = soc.config().ram_base;
+        // Bank 3 never configured.
+        let program = assemble("mvtc BANK3,0,DMA8,FIFO0\neop").unwrap();
+        soc.load_words(ram, &program.to_words()).unwrap();
+        soc.configure(&[(0, ram)], program.len() as u32).unwrap();
+        match soc.start_and_wait(100_000) {
+            Err(SocError::Ocp(_)) => {}
+            other => panic!("expected OCP fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_cycles_are_counted() {
+        let (soc, ..) = setup(CompletionMode::Interrupt);
+        // configure() already ran in setup; run a fresh one to observe.
+        drop(soc);
+        let config = SocConfig::default();
+        let mut soc = Soc::new(Box::new(PassthroughRac::new(0)), config);
+        let cycles = soc
+            .configure(&[(0, soc.config().ram_base), (1, soc.config().ram_base + 64)], 4)
+            .unwrap();
+        // 3 register writes, each a single-beat bus transaction.
+        assert!(cycles >= 9, "three timed writes, got {cycles}");
+    }
+
+    #[test]
+    fn cpu_read_round_trips() {
+        let config = SocConfig::default();
+        let mut soc = Soc::new(Box::new(PassthroughRac::new(0)), config);
+        let ram = soc.config().ram_base;
+        soc.load_words(ram + 0x100, &[0x5EED]).unwrap();
+        let (value, cycles) = soc.cpu_read(ram + 0x100).unwrap();
+        assert_eq!(value, 0x5EED);
+        assert!(cycles >= 3);
+    }
+}

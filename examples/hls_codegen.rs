@@ -1,0 +1,30 @@
+//! Interface generation for HLS accelerators (§VI work in progress):
+//! emit the VHDL wrapper that binds an HLS core's stream ports to the
+//! OCP's FIFO interfaces, and the C driver header for the host side.
+//!
+//! ```text
+//! cargo run --example hls_codegen
+//! ```
+
+use ouessant::hls::{c_header, vhdl_wrapper, RacInterfaceSpec};
+
+fn main() -> Result<(), String> {
+    // The paper's Figure 2 accelerator: 96-bit operands both ways.
+    let spec = RacInterfaceSpec::figure2("dft256");
+
+    println!("==== {}_ouessant_wrapper.vhd ====", spec.name);
+    println!("{}", vhdl_wrapper(&spec)?);
+    println!("==== {}_ouessant.h ====", spec.name);
+    println!("{}", c_header(&spec, 0x8000_0000)?);
+
+    // A multi-FIFO accelerator (samples + tap configuration, like the
+    // FIR RAC).
+    let fir = RacInterfaceSpec {
+        name: "fir_filter".to_string(),
+        input_widths: vec![32, 32],
+        output_widths: vec![32],
+    };
+    println!("==== {}_ouessant_wrapper.vhd ====", fir.name);
+    println!("{}", vhdl_wrapper(&fir)?);
+    Ok(())
+}

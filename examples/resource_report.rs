@@ -1,0 +1,51 @@
+//! Regenerates the paper's §V-A resource results: the keep-hierarchy
+//! footprint of the OCP with each evaluation accelerator, utilization
+//! on the Nexys4's Artix-7, and the 50 MHz timing check.
+//!
+//! ```text
+//! cargo run --example resource_report
+//! ```
+
+use ouessant_resources::estimate::ocp_overhead;
+use ouessant_resources::{
+    estimate_fmax, estimate_ocp, rac_estimate, Device, OcpParams, RacKind,
+};
+use ouessant_sim::Frequency;
+
+fn main() {
+    let device = Device::artix7_100t();
+    println!("device: {} (Digilent Nexys4)", device.name);
+    println!();
+
+    for (name, kind, fifo_depth) in [
+        ("2-D IDCT", RacKind::Idct, 64u32),
+        ("Spiral DFT-256", RacKind::SpiralDft { points: 256 }, 512),
+    ] {
+        let params = OcpParams {
+            fifo_depth_words: fifo_depth,
+            ..OcpParams::default()
+        };
+        let report = estimate_ocp(&params);
+        let rac = rac_estimate(kind);
+        let overhead = ocp_overhead(&report);
+
+        println!("=== OCP with {name} RAC (keep hierarchy) ===");
+        println!("{report}");
+        println!("{:<24} {rac}", format!("rac.{name}"));
+        println!();
+        println!("OCP overhead (interface + controller + FIFO control):");
+        println!("  {overhead}");
+        println!("  paper claim: < 1000 LUT, < 750 FF  →  {}", if overhead.lut < 1000 && overhead.ff < 750 { "HOLDS" } else { "VIOLATED" });
+        println!("  utilization: {}", device.utilization(overhead));
+        let timing = estimate_fmax(&params);
+        println!(
+            "  timing: {timing} → {} at 50 MHz",
+            if timing.meets(Frequency::mhz(50)) {
+                "no timing errors"
+            } else {
+                "FAILS"
+            }
+        );
+        println!();
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates the paper's Table I and the §V-B in-text numbers.
+//!
+//! ```text
+//! cargo run --example table1
+//! ```
+
+use ouessant_soc::app::{dft_experiment, table1, transfer_experiment, ExperimentConfig};
+use ouessant_rac::dft::dft_latency;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table I: Time results for OCP (Linux, mmap driver, 50 MHz)");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>8}    paper",
+        "", "Lat.", "HW", "SW", "Gain"
+    );
+    let paper = [
+        ("IDCT", 18u64, 3_000u64, 5_000u64, 1.67),
+        ("DFT", 2_485, 7_000, 600_000, 85.0),
+    ];
+    for (row, (pname, plat, phw, psw, pgain)) in table1()?.iter().zip(paper) {
+        println!(
+            "{:<6} {:>8} {:>10} {:>10} {:>8.2}    {pname}: {plat}/{phw}/{psw}/{pgain}",
+            row.name, row.latency, row.hw_cycles, row.sw_cycles, row.gain
+        );
+    }
+
+    println!();
+    println!("§V-B in-text results:");
+    let bare = dft_experiment(&ExperimentConfig::paper_baremetal())?;
+    println!(
+        "  DFT without Linux: {} cycles            (paper: 4000)",
+        bare.machine_cycles
+    );
+    let linux = dft_experiment(&ExperimentConfig::paper_linux())?;
+    println!(
+        "  Linux overhead:    {} cycles            (paper: 3000)",
+        linux.hw_cycles - bare.hw_cycles
+    );
+    let transfer_cycles = bare.machine_cycles.saturating_sub(dft_latency(256));
+    println!(
+        "  transfer cost:     {} cycles for {} words = {:.2} cy/word (paper: ~1500, ~1.5)",
+        transfer_cycles,
+        bare.words,
+        transfer_cycles as f64 / bare.words as f64
+    );
+    let t = transfer_experiment(&ExperimentConfig::paper_baremetal(), 512)?;
+    println!(
+        "  pure DMA (passthrough RAC): {:.2} cy/word end to end",
+        t.cycles_per_word()
+    );
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Re-exports for examples and integration tests.
+pub use ouessant_soc::*;

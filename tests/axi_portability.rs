@@ -1,0 +1,150 @@
+//! The paper's portability claim, §II-B/§VI: the OCP is "independent
+//! from the processor" and from the bus; "current work in progress
+//! includes complete Zynq (AXI4) integration". Because the bus
+//! interface is written against the `SystemBus` trait, the *same* OCP
+//! runs unmodified on the AHB-like bus and on the AXI-like bus — this
+//! test is that claim, compiled and executed.
+
+use ouessant::ocp::{Ocp, OcpConfig};
+use ouessant_isa::assemble;
+use ouessant_rac::idct::{idct_2d_fixed, IdctRac};
+use ouessant_rac::passthrough::PassthroughRac;
+use ouessant_sim::axi::{AxiBus, AxiConfig};
+use ouessant_sim::bus::{Bus, BusConfig};
+use ouessant_sim::memory::{Sram, SramConfig};
+use ouessant_sim::SystemBus;
+
+const RAM: u32 = 0x4000_0000;
+const OCP_BASE: u32 = 0x8000_0000;
+
+/// Runs the identical offload on any `SystemBus` implementation and
+/// returns (output words, cycles).
+fn run_on(bus: &mut dyn SystemBus, coeffs: &[i32]) -> (Vec<i32>, u64) {
+    bus.add_slave_boxed(
+        RAM,
+        Box::new(Sram::with_words(8192, SramConfig::no_wait())),
+    );
+    let mut ocp = Ocp::attach(bus, OCP_BASE, Box::new(IdctRac::new()), OcpConfig::default());
+
+    let program = assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs\nmvfc BANK2,0,DMA64,FIFO0\neop")
+        .unwrap();
+    for (i, w) in program.to_words().iter().enumerate() {
+        bus.debug_write(RAM + (i as u32) * 4, *w).unwrap();
+    }
+    for (i, &c) in coeffs.iter().enumerate() {
+        bus.debug_write(RAM + 0x1000 + (i as u32) * 4, c as u32).unwrap();
+    }
+    ocp.regs().set_bank(0, RAM).unwrap();
+    ocp.regs().set_bank(1, RAM + 0x1000).unwrap();
+    ocp.regs().set_bank(2, RAM + 0x2000).unwrap();
+    ocp.regs().set_prog_size(program.len() as u32).unwrap();
+    ocp.regs().start();
+
+    let mut cycles = 0u64;
+    while !ocp.regs().done() {
+        ocp.tick(bus);
+        bus.tick();
+        cycles += 1;
+        assert!(cycles < 1_000_000, "offload must terminate");
+        assert!(ocp.fault().is_none(), "fault: {:?}", ocp.fault());
+    }
+    let out: Vec<i32> = (0..64)
+        .map(|i| bus.debug_read(RAM + 0x2000 + i * 4).unwrap() as i32)
+        .collect();
+    (out, cycles)
+}
+
+#[test]
+fn same_ocp_runs_on_ahb_and_axi() {
+    let coeffs: Vec<i32> = (0..64).map(|i| (i * 53 % 701) - 350).collect();
+    let expected = idct_2d_fixed(&coeffs);
+
+    let mut ahb = Bus::new(BusConfig::default());
+    let _cpu = SystemBus::register_master(&mut ahb, "cpu");
+    let (ahb_out, ahb_cycles) = run_on(&mut ahb, &coeffs);
+
+    let mut axi = AxiBus::new(AxiConfig::default());
+    let _cpu = axi.register_master("cpu");
+    let (axi_out, axi_cycles) = run_on(&mut axi, &coeffs);
+
+    // Identical functional results on both interconnects.
+    assert_eq!(ahb_out, expected);
+    assert_eq!(axi_out, expected);
+
+    // Different timing — they are different buses — but the same order
+    // of magnitude (the data path dominates).
+    assert!(ahb_cycles > 0 && axi_cycles > 0);
+    let ratio = ahb_cycles as f64 / axi_cycles as f64;
+    assert!((0.3..=3.0).contains(&ratio), "AHB {ahb_cycles} vs AXI {axi_cycles}");
+}
+
+#[test]
+fn axi_concurrent_channels_speed_up_split_traffic() {
+    // A microcode whose reads and writes alternate benefits from AXI's
+    // independent channels; on AHB everything serializes. Use the
+    // passthrough RAC in streaming mode with interleaved transfers.
+    let program = assemble(
+        "
+        ldc R0,8
+        ldo O0,0
+        ldo O1,0
+        loop:
+            mvtcr BANK1,O0,DMA16,FIFO0
+            execn 16
+            mvfcr BANK2,O1,DMA16,FIFO0
+            djnz R0,loop
+        eop
+        ",
+    )
+    .unwrap();
+
+    let run = |bus: &mut dyn SystemBus| -> u64 {
+        bus.add_slave_boxed(
+            RAM,
+            Box::new(Sram::with_words(8192, SramConfig::no_wait())),
+        );
+        let mut ocp = Ocp::attach(
+            bus,
+            OCP_BASE,
+            Box::new(PassthroughRac::new(0)),
+            OcpConfig::default(),
+        );
+        for (i, w) in program.to_words().iter().enumerate() {
+            bus.debug_write(RAM + (i as u32) * 4, *w).unwrap();
+        }
+        for i in 0..128u32 {
+            bus.debug_write(RAM + 0x1000 + i * 4, i).unwrap();
+        }
+        ocp.regs().set_bank(0, RAM).unwrap();
+        ocp.regs().set_bank(1, RAM + 0x1000).unwrap();
+        ocp.regs().set_bank(2, RAM + 0x2000).unwrap();
+        ocp.regs().set_prog_size(program.len() as u32).unwrap();
+        ocp.regs().start();
+        let mut cycles = 0u64;
+        while !ocp.regs().done() {
+            ocp.tick(bus);
+            bus.tick();
+            cycles += 1;
+            assert!(cycles < 1_000_000);
+            assert!(ocp.fault().is_none(), "fault: {:?}", ocp.fault());
+        }
+        // Verify the data made it.
+        for i in 0..128u32 {
+            assert_eq!(bus.debug_read(RAM + 0x2000 + i * 4).unwrap(), i);
+        }
+        cycles
+    };
+
+    let mut ahb = Bus::new(BusConfig::default());
+    let _ = SystemBus::register_master(&mut ahb, "cpu");
+    let ahb_cycles = run(&mut ahb);
+
+    let mut axi = AxiBus::new(AxiConfig::default());
+    let _ = axi.register_master("cpu");
+    let axi_cycles = run(&mut axi);
+
+    // Both complete; report-style sanity rather than a strict ordering
+    // (the controller issues one transfer at a time, so the win is
+    // bounded).
+    assert!(ahb_cycles > 100 && axi_cycles > 100);
+}

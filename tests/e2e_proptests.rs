@@ -1,0 +1,180 @@
+//! Cross-crate property tests: whole-system invariants over random
+//! workloads, microcode shapes and platform parameters.
+
+use proptest::prelude::*;
+
+use ouessant_isa::ProgramBuilder;
+use ouessant_rac::dft::{dft_fixed, DftRac};
+use ouessant_rac::idct::{idct_2d_fixed, IdctRac};
+use ouessant_rac::passthrough::PassthroughRac;
+use ouessant_sim::memory::SramConfig;
+use ouessant_soc::soc::{CompletionMode, Soc, SocConfig};
+
+fn run_passthrough(
+    words: &[u32],
+    burst: u16,
+    sram: SramConfig,
+    completion: CompletionMode,
+) -> (Vec<u32>, u64) {
+    let config = SocConfig {
+        sram,
+        completion,
+        ..SocConfig::default()
+    };
+    let mut soc = Soc::new(Box::new(PassthroughRac::new(0)), config);
+    let ram = soc.config().ram_base;
+    let n = words.len() as u32;
+    let program = ProgramBuilder::new()
+        .transfer_to_coprocessor(1, 0, n, burst, 0)
+        .unwrap()
+        .execs_op(u16::try_from(n).unwrap_or(0))
+        .transfer_from_coprocessor(2, 0, n, burst, 0)
+        .unwrap()
+        .eop()
+        .finish()
+        .unwrap();
+    soc.load_words(ram, &program.to_words()).unwrap();
+    soc.load_words(ram + 0x4000, words).unwrap();
+    soc.configure(
+        &[(0, ram), (1, ram + 0x4000), (2, ram + 0x2_0000)],
+        program.len() as u32,
+    )
+    .unwrap();
+    let report = soc.start_and_wait(10_000_000).unwrap();
+    let out = soc.read_words(ram + 0x2_0000, words.len()).unwrap();
+    (out, report.machine_cycles())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any data moved through the OCP with any burst size arrives
+    /// intact and in order (DMA correctness).
+    #[test]
+    fn passthrough_offload_is_identity(
+        words in prop::collection::vec(any::<u32>(), 1..600),
+        burst in 1u16..=256,
+    ) {
+        let (out, _) = run_passthrough(
+            &words,
+            burst,
+            SramConfig::no_wait(),
+            CompletionMode::Interrupt,
+        );
+        prop_assert_eq!(out, words);
+    }
+
+    /// Functional results are independent of memory wait states and
+    /// completion mode — timing parameters must never change data.
+    #[test]
+    fn timing_parameters_do_not_change_data(
+        words in prop::collection::vec(any::<u32>(), 1..200),
+        first_ws in 0u32..8,
+        seq_ws in 0u32..3,
+        poll_interval in prop::option::of(16u64..512),
+    ) {
+        let sram = SramConfig {
+            first_access_wait_states: first_ws,
+            sequential_wait_states: seq_ws,
+        };
+        let completion = match poll_interval {
+            Some(interval) => CompletionMode::Polling { interval },
+            None => CompletionMode::Interrupt,
+        };
+        let (out, _) = run_passthrough(&words, 32, sram, completion);
+        prop_assert_eq!(&out, &words);
+        // And the reference configuration agrees.
+        let (reference, _) = run_passthrough(
+            &words,
+            32,
+            SramConfig::no_wait(),
+            CompletionMode::Interrupt,
+        );
+        prop_assert_eq!(out, reference);
+    }
+
+    /// More wait states can only slow the offload down (monotonicity of
+    /// the timing model).
+    #[test]
+    fn wait_states_are_monotone(
+        words in prop::collection::vec(any::<u32>(), 32..256),
+    ) {
+        let cycles_at = |ws: u32| {
+            run_passthrough(
+                &words,
+                64,
+                SramConfig { first_access_wait_states: ws, sequential_wait_states: 0 },
+                CompletionMode::Interrupt,
+            ).1
+        };
+        let fast = cycles_at(0);
+        let medium = cycles_at(3);
+        let slow = cycles_at(7);
+        prop_assert!(fast <= medium && medium <= slow, "{fast} {medium} {slow}");
+    }
+
+    /// The offloaded IDCT equals the data-path function for arbitrary
+    /// JPEG-range blocks (hardware integration adds nothing and loses
+    /// nothing).
+    #[test]
+    fn idct_offload_matches_function(
+        coeffs in prop::collection::vec(-2048i32..2048, 64),
+    ) {
+        let mut soc = Soc::new(Box::new(IdctRac::new()), SocConfig::default());
+        let ram = soc.config().ram_base;
+        let program = ProgramBuilder::new()
+            .mvtc(1, 0, 64, 0).unwrap()
+            .execs()
+            .mvfc(2, 0, 64, 0).unwrap()
+            .eop()
+            .finish()
+            .unwrap();
+        soc.load_words(ram, &program.to_words()).unwrap();
+        let words: Vec<u32> = coeffs.iter().map(|&c| c as u32).collect();
+        soc.load_words(ram + 0x4000, &words).unwrap();
+        soc.configure(&[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)], program.len() as u32)
+            .unwrap();
+        soc.start_and_wait(1_000_000).unwrap();
+        let out: Vec<i32> = soc
+            .read_words(ram + 0x8000, 64)
+            .unwrap()
+            .into_iter()
+            .map(|w| w as i32)
+            .collect();
+        prop_assert_eq!(out, idct_2d_fixed(&coeffs));
+    }
+
+    /// The offloaded DFT equals the data-path function for arbitrary
+    /// Q15 inputs.
+    #[test]
+    fn dft_offload_matches_function(
+        samples in prop::collection::vec((-32768i32..32768, -32768i32..32768), 16),
+    ) {
+        let n = samples.len();
+        let mut soc = Soc::new(Box::new(DftRac::new(n)), SocConfig::default());
+        let ram = soc.config().ram_base;
+        let words_each_way = (n * 2) as u32;
+        let program = ProgramBuilder::new()
+            .transfer_to_coprocessor(1, 0, words_each_way, 16, 0).unwrap()
+            .execs()
+            .transfer_from_coprocessor(2, 0, words_each_way, 16, 0).unwrap()
+            .eop()
+            .finish()
+            .unwrap();
+        soc.load_words(ram, &program.to_words()).unwrap();
+        let words: Vec<u32> = samples
+            .iter()
+            .flat_map(|&(re, im)| [re as u32, im as u32])
+            .collect();
+        soc.load_words(ram + 0x4000, &words).unwrap();
+        soc.configure(&[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)], program.len() as u32)
+            .unwrap();
+        soc.start_and_wait(1_000_000).unwrap();
+        let out = soc.read_words(ram + 0x8000, words.len()).unwrap();
+        let expected: Vec<u32> = dft_fixed(&samples)
+            .into_iter()
+            .flat_map(|(re, im)| [re as u32, im as u32])
+            .collect();
+        prop_assert_eq!(out, expected);
+    }
+}

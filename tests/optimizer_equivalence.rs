@@ -1,0 +1,92 @@
+//! Full-system equivalence of the microcode optimizer: the optimized
+//! program must produce bit-identical memory contents and must not be
+//! slower than the original.
+
+use ouessant_isa::opt::optimize;
+use ouessant_isa::{assemble, Program, ProgramBuilder, FIGURE4_SOURCE};
+use ouessant_rac::dft::DftRac;
+use ouessant_rac::passthrough::PassthroughRac;
+use ouessant_rac::rac::Rac;
+use ouessant_soc::soc::{Soc, SocConfig};
+use proptest::prelude::*;
+
+/// Runs `program` on a fresh SoC and returns (output words, cycles).
+fn run(rac: Box<dyn Rac>, program: &Program, input: &[u32], out_len: usize) -> (Vec<u32>, u64) {
+    let mut soc = Soc::new(rac, SocConfig::default());
+    let ram = soc.config().ram_base;
+    soc.load_words(ram, &program.to_words()).unwrap();
+    soc.load_words(ram + 0x4000, input).unwrap();
+    soc.configure(
+        &[(0, ram), (1, ram + 0x4000), (2, ram + 0x2_0000)],
+        program.len() as u32,
+    )
+    .unwrap();
+    let report = soc.start_and_wait(50_000_000).unwrap();
+    let out = soc.read_words(ram + 0x2_0000, out_len).unwrap();
+    (out, report.run_cycles)
+}
+
+#[test]
+fn optimized_figure4_is_equivalent_and_faster() {
+    let original = assemble(FIGURE4_SOURCE).unwrap();
+    let (optimized, stats) = optimize(&original).unwrap();
+    assert!(stats.after < stats.before);
+
+    let input: Vec<u32> = (0..512u32).map(|i| i.wrapping_mul(2_654_435_761) % 32768).collect();
+    let (out_orig, cycles_orig) = run(
+        Box::new(DftRac::spiral_256()),
+        &original,
+        &input,
+        512,
+    );
+    let (out_opt, cycles_opt) = run(
+        Box::new(DftRac::spiral_256()),
+        &optimized,
+        &input,
+        512,
+    );
+    assert_eq!(out_orig, out_opt, "optimization must not change results");
+    assert!(
+        cycles_opt < cycles_orig,
+        "fewer instructions and larger bursts must be faster: {cycles_opt} vs {cycles_orig}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary chunked copies, the optimizer preserves the data
+    /// end to end.
+    #[test]
+    fn optimizer_preserves_arbitrary_copies(
+        total in 64u32..600,
+        chunk in 8u16..64,
+        seed in any::<u32>(),
+    ) {
+        let program = ProgramBuilder::new()
+            .transfer_to_coprocessor(1, 0, total, chunk, 0).unwrap()
+            .execs_op(0)
+            .transfer_from_coprocessor(2, 0, total, chunk, 0).unwrap()
+            .eop()
+            .finish()
+            .unwrap();
+        let (optimized, _) = optimize(&program).unwrap();
+        prop_assert_eq!(
+            optimized.static_words_transferred(),
+            program.static_words_transferred()
+        );
+
+        let mut state = seed;
+        let input: Vec<u32> = (0..total)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                state
+            })
+            .collect();
+        let (a, _) = run(Box::new(PassthroughRac::new(0)), &program, &input, total as usize);
+        let (b, cycles_opt) = run(Box::new(PassthroughRac::new(0)), &optimized, &input, total as usize);
+        prop_assert_eq!(&a, &input);
+        prop_assert_eq!(&b, &input);
+        prop_assert!(cycles_opt > 0);
+    }
+}

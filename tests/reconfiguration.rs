@@ -1,0 +1,168 @@
+//! §VI "Dynamic Partial Reconfiguration" end to end: one OCP whose RAC
+//! slot is swapped by the `rcfg` extension instruction, mid-microcode,
+//! with the bitstream-load latency visible in the cycle accounting.
+
+use ouessant::controller::ExecError;
+use ouessant_isa::assemble;
+use ouessant_rac::idct::{idct_2d_fixed, IdctRac};
+use ouessant_rac::passthrough::PassthroughRac;
+use ouessant_rac::slot::ReconfigurableSlot;
+use ouessant_soc::soc::{Soc, SocConfig, SocError};
+
+/// IDCT bitstream: 80 KiB → 20 480 cycles; passthrough: 8 KiB → 2 048.
+const IDCT_BITSTREAM: u64 = 80 * 1024;
+const SCALER_BITSTREAM: u64 = 8 * 1024;
+
+fn dpr_slot() -> ReconfigurableSlot {
+    ReconfigurableSlot::new()
+        .with_config(Box::new(IdctRac::new()), IDCT_BITSTREAM)
+        .with_config(Box::new(PassthroughRac::scaling(2, 0)), SCALER_BITSTREAM)
+}
+
+#[test]
+fn rcfg_swaps_accelerators_mid_program() {
+    // Phase 1 (config 0): IDCT one block.
+    // Phase 2 (config 1 after rcfg): scale 64 words by 2.
+    let program = assemble(
+        "
+        rcfg 0
+        mvtc BANK1,0,DMA64,FIFO0
+        execs
+        mvfc BANK2,0,DMA64,FIFO0
+        rcfg 1
+        mvtc BANK1,64,DMA64,FIFO0
+        execs 64
+        mvfc BANK2,64,DMA64,FIFO0
+        eop
+        ",
+    )
+    .unwrap();
+
+    let mut soc = Soc::new(Box::new(dpr_slot()), SocConfig::default());
+    let ram = soc.config().ram_base;
+    soc.load_words(ram, &program.to_words()).unwrap();
+
+    let coeffs: Vec<i32> = (0..64).map(|i| (i * 71 % 901) - 450).collect();
+    let plain: Vec<u32> = (0..64).map(|i| 1000 + i).collect();
+    let mut input: Vec<u32> = coeffs.iter().map(|&c| c as u32).collect();
+    input.extend(&plain);
+    soc.load_words(ram + 0x4000, &input).unwrap();
+    soc.configure(&[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)], program.len() as u32)
+        .unwrap();
+    let report = soc.start_and_wait(10_000_000).unwrap();
+
+    // Phase 1 output: the IDCT of the coefficients.
+    let out = soc.read_words(ram + 0x8000, 128).unwrap();
+    let expected_idct = idct_2d_fixed(&coeffs);
+    for (i, &e) in expected_idct.iter().enumerate() {
+        assert_eq!(out[i] as i32, e, "idct output word {i}");
+    }
+    // Phase 2 output: the scaled words.
+    for (i, &p) in plain.iter().enumerate() {
+        assert_eq!(out[64 + i], p * 2, "scaled output word {i}");
+    }
+
+    // The bitstream loads dominate this run's cycle count: rcfg 0 is a
+    // cheap reload (config 0 already active), rcfg 1 pays 2048 cycles.
+    assert!(
+        report.run_cycles > SCALER_BITSTREAM / 4,
+        "reconfiguration latency must be visible: {} cycles",
+        report.run_cycles
+    );
+}
+
+#[test]
+fn rcfg_on_static_rac_faults() {
+    let program = assemble("rcfg 1\neop").unwrap();
+    let mut soc = Soc::new(Box::new(IdctRac::new()), SocConfig::default());
+    let ram = soc.config().ram_base;
+    soc.load_words(ram, &program.to_words()).unwrap();
+    soc.configure(&[(0, ram)], program.len() as u32).unwrap();
+    match soc.start_and_wait(100_000) {
+        Err(SocError::Ocp(ExecError::Reconfig { slot: 1, available: 0 })) => {}
+        other => panic!("expected reconfig fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn rcfg_bad_slot_faults_with_available_count() {
+    let program = assemble("rcfg 9\neop").unwrap();
+    let mut soc = Soc::new(Box::new(dpr_slot()), SocConfig::default());
+    let ram = soc.config().ram_base;
+    soc.load_words(ram, &program.to_words()).unwrap();
+    soc.configure(&[(0, ram)], program.len() as u32).unwrap();
+    match soc.start_and_wait(100_000) {
+        Err(SocError::Ocp(ExecError::Reconfig { slot: 9, available: 2 })) => {}
+        other => panic!("expected bad-slot fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn reconfiguration_cost_amortizes_over_batches() {
+    // Swap-per-block vs swap-per-batch: the same work, very different
+    // overhead — the scheduling insight behind DPR deployments.
+    let run = |program_src: &str, blocks: u32| -> u64 {
+        let slot = ReconfigurableSlot::new()
+            .with_config(Box::new(PassthroughRac::new(0)), 8 * 1024)
+            .with_config(Box::new(PassthroughRac::scaling(3, 0)), 8 * 1024);
+        let mut soc = Soc::new(Box::new(slot), SocConfig::default());
+        let ram = soc.config().ram_base;
+        let program = assemble(program_src).unwrap();
+        soc.load_words(ram, &program.to_words()).unwrap();
+        let input: Vec<u32> = (0..blocks * 16).collect();
+        soc.load_words(ram + 0x4000, &input).unwrap();
+        soc.configure(
+            &[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)],
+            program.len() as u32,
+        )
+        .unwrap();
+        soc.start_and_wait(50_000_000).unwrap().run_cycles
+    };
+
+    // 4 blocks, alternating configurations before every block
+    // (pathological: every block pays a full bitstream load).
+    let swap_heavy = run(
+        "
+        ldo O0,0
+        ldo O1,0
+        rcfg 1
+        mvtcr BANK1,O0,DMA16,FIFO0
+        execs 16
+        mvfcr BANK2,O1,DMA16,FIFO0
+        rcfg 0
+        mvtcr BANK1,O0,DMA16,FIFO0
+        execs 16
+        mvfcr BANK2,O1,DMA16,FIFO0
+        rcfg 1
+        mvtcr BANK1,O0,DMA16,FIFO0
+        execs 16
+        mvfcr BANK2,O1,DMA16,FIFO0
+        rcfg 0
+        mvtcr BANK1,O0,DMA16,FIFO0
+        execs 16
+        mvfcr BANK2,O1,DMA16,FIFO0
+        eop
+        ",
+        4,
+    );
+    // 4 blocks, one reconfiguration up front.
+    let swap_once = run(
+        "
+        rcfg 1
+        ldc R0,4
+        ldo O0,0
+        ldo O1,0
+        loop:
+            mvtcr BANK1,O0,DMA16,FIFO0
+            execs 16
+            mvfcr BANK2,O1,DMA16,FIFO0
+            djnz R0,loop
+        eop
+        ",
+        4,
+    );
+    assert!(
+        swap_heavy > swap_once + 3 * (8 * 1024 / 4) / 2,
+        "alternating swaps must cost ~3 extra bitstream loads: {swap_heavy} vs {swap_once}"
+    );
+}

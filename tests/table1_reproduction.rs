@@ -1,0 +1,130 @@
+//! End-to-end reproduction of the paper's evaluation (§V): Table I and
+//! every in-text number, asserted as ranges around the published
+//! values.
+
+use ouessant_rac::dft::dft_latency;
+use ouessant_soc::app::{dft_experiment, idct_experiment, table1, transfer_experiment, ExperimentConfig};
+use ouessant_soc::os::OsModel;
+
+#[test]
+fn table1_idct_row() {
+    let row = idct_experiment(&ExperimentConfig::paper_linux()).unwrap();
+    assert_eq!(row.latency, 18, "Lat. column is the pipeline latency");
+    assert!((2_000..=4_500).contains(&row.hw_cycles), "HW {} ~ 3000", row.hw_cycles);
+    assert!((3_500..=6_500).contains(&row.sw_cycles), "SW {} ~ 5000", row.sw_cycles);
+    assert!((1.2..=2.2).contains(&row.gain), "Gain {} ~ 1.67", row.gain);
+}
+
+#[test]
+fn table1_dft_row() {
+    let row = dft_experiment(&ExperimentConfig::paper_linux()).unwrap();
+    assert_eq!(row.latency, 2_485, "Lat. column matches the Spiral core");
+    assert!((5_500..=8_500).contains(&row.hw_cycles), "HW {} ~ 7000", row.hw_cycles);
+    assert!(
+        (450_000..=750_000).contains(&row.sw_cycles),
+        "SW {} ~ 600k",
+        row.sw_cycles
+    );
+    assert!((60.0..=110.0).contains(&row.gain), "Gain {} ~ 85", row.gain);
+}
+
+#[test]
+fn table1_orderings() {
+    let rows = table1().unwrap();
+    let (idct, dft) = (&rows[0], &rows[1]);
+    // Who wins and by what factor: the qualitative content of Table I.
+    assert!(idct.gain > 1.0, "hardware wins even for the tiny IDCT");
+    assert!(dft.gain > 30.0 * idct.gain / 1.67, "DFT gain is ~50x larger");
+    assert!(dft.sw_cycles > 100 * idct.sw_cycles, "SW DFT dwarfs SW IDCT");
+    assert!(dft.latency > 100 * idct.latency);
+}
+
+#[test]
+fn text_baremetal_dft_4000() {
+    let row = dft_experiment(&ExperimentConfig::paper_baremetal()).unwrap();
+    assert!(
+        (3_400..=4_600).contains(&row.machine_cycles),
+        "baremetal DFT {} ~ 4000",
+        row.machine_cycles
+    );
+}
+
+#[test]
+fn text_linux_overhead_3000() {
+    let bare = dft_experiment(&ExperimentConfig::paper_baremetal()).unwrap();
+    let linux = dft_experiment(&ExperimentConfig::paper_linux()).unwrap();
+    let overhead = linux.hw_cycles - bare.hw_cycles;
+    assert!((2_500..=3_500).contains(&overhead), "overhead {overhead} ~ 3000");
+}
+
+#[test]
+fn text_1024_words_at_1_5_cycles() {
+    let row = dft_experiment(&ExperimentConfig::paper_baremetal()).unwrap();
+    assert_eq!(row.words, 1024, "the paper's 1024 32-bit words");
+    let transfer = row.machine_cycles - dft_latency(256);
+    assert!(
+        (1_000..=2_000).contains(&transfer),
+        "transfer {transfer} ~ 1500 cycles"
+    );
+    let per_word = transfer as f64 / row.words as f64;
+    assert!((1.0..=2.0).contains(&per_word), "{per_word:.2} ~ 1.5 cy/word");
+}
+
+#[test]
+fn copying_driver_is_worse_than_mmap() {
+    // §IV: "data copies are performance killers" — the reason the
+    // paper's driver uses mmap.
+    let mmap = dft_experiment(&ExperimentConfig {
+        os: OsModel::linux_mmap(),
+        ..ExperimentConfig::paper_linux()
+    })
+    .unwrap();
+    let copy = dft_experiment(&ExperimentConfig {
+        os: OsModel::linux_copy(),
+        ..ExperimentConfig::paper_linux()
+    })
+    .unwrap();
+    assert!(copy.hw_cycles > mmap.hw_cycles);
+    assert!(copy.gain < mmap.gain);
+}
+
+#[test]
+fn burst_length_matters() {
+    // Ablation A1's headline: DMA64 beats word-at-a-time transfers.
+    let at = |burst: u16| {
+        transfer_experiment(
+            &ExperimentConfig {
+                burst,
+                ..ExperimentConfig::paper_baremetal()
+            },
+            512,
+        )
+        .unwrap()
+        .cycles_per_word()
+    };
+    let dma8 = at(8);
+    let dma64 = at(64);
+    let dma256 = at(256);
+    assert!(dma8 > dma64, "short bursts repay overheads: {dma8:.2} vs {dma64:.2}");
+    assert!(dma64 >= dma256, "longer bursts only help: {dma64:.2} vs {dma256:.2}");
+}
+
+#[test]
+fn gain_grows_with_dft_size() {
+    // Ablation A5: the crossover shape.
+    let gain_at = |points: usize| {
+        dft_experiment(&ExperimentConfig {
+            dft_points: points,
+            burst: 64.min((points * 2) as u16),
+            ..ExperimentConfig::paper_linux()
+        })
+        .unwrap()
+        .gain
+    };
+    let g16 = gain_at(16);
+    let g256 = gain_at(256);
+    let g1024 = gain_at(1024);
+    assert!(g16 > 1.0, "even tiny DFTs win against soft-float: {g16:.1}");
+    assert!(g256 > 4.0 * g16);
+    assert!(g1024 > g256);
+}
