@@ -91,9 +91,7 @@ impl BankTranslation {
     ) -> Result<u32, TranslateError> {
         let base = regs.bank_base(bank.index());
         if base == 0 {
-            return Err(TranslateError::UnconfiguredBank {
-                bank: bank.value(),
-            });
+            return Err(TranslateError::UnconfiguredBank { bank: bank.value() });
         }
         let byte_offset = u64::from(word_offset) * 4;
         let addr = u64::from(base) + byte_offset;
@@ -118,9 +116,7 @@ mod tests {
     fn base_plus_word_offset() {
         let regs = regs_with_bank(1, 0x4000_1000);
         let t = BankTranslation::new();
-        let addr = t
-            .translate(&regs, Bank::new(1).unwrap(), 64)
-            .unwrap();
+        let addr = t.translate(&regs, Bank::new(1).unwrap(), 64).unwrap();
         assert_eq!(addr, 0x4000_1000 + 64 * 4);
     }
 
@@ -140,7 +136,10 @@ mod tests {
         let t = BankTranslation::new();
         assert_eq!(
             t.translate(&regs, Bank::new(2).unwrap(), 16),
-            Err(TranslateError::AddressOverflow { bank: 2, offset: 16 })
+            Err(TranslateError::AddressOverflow {
+                bank: 2,
+                offset: 16
+            })
         );
     }
 

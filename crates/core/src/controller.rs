@@ -22,7 +22,7 @@ use std::fmt;
 use ouessant_isa::operands::{Bank, BurstLen, FifoId, MAX_PROGRAM_LEN};
 use ouessant_isa::{DecodeError, Instruction};
 use ouessant_rac::rac::RacSocket;
-use ouessant_sim::bus::BusError;
+use ouessant_sim::bus::{BusError, MasterId};
 use ouessant_sim::SystemBus;
 
 use crate::banks::{BankTranslation, TranslateError, PROGRAM_BANK};
@@ -259,6 +259,13 @@ impl Controller {
     #[must_use]
     pub fn state(&self) -> &ControllerState {
         &self.state
+    }
+
+    /// The bus identity of the DMA master port (for per-master bus
+    /// statistics).
+    #[must_use]
+    pub fn master(&self) -> MasterId {
+        self.dma.master()
     }
 
     /// Whether the controller is executing a program.

@@ -194,8 +194,11 @@ mod tests {
         let mut bus = Bus::new(BusConfig::default());
         let cpu = bus.register_master("cpu");
         bus.add_slave(0x8000_0000, RegSlavePort::new(regs.clone()));
-        bus.try_begin(cpu, TxnRequest::write_word(0x8000_0000 + REG_CTRL, CTRL_S | CTRL_IE))
-            .unwrap();
+        bus.try_begin(
+            cpu,
+            TxnRequest::write_word(0x8000_0000 + REG_CTRL, CTRL_S | CTRL_IE),
+        )
+        .unwrap();
         bus.run_to_completion(cpu).unwrap();
         assert!(regs.with_mut(|r| r.take_start()));
         assert!(regs.with(|r| r.irq_enabled()));

@@ -39,10 +39,26 @@ pub struct OcpStats {
     pub total_cycles: u64,
 }
 
+/// A completion event: one program run finished (the D bit rose).
+///
+/// Snapshot of the counters a dispatcher wants when deciding what to
+/// schedule next, without re-reading the register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OcpCompletion {
+    /// OCP-local cycle count at completion.
+    pub at_cycle: u64,
+    /// Program runs completed since reset (including this one).
+    pub runs_completed: u64,
+    /// Words DMA-transferred since reset.
+    pub words_transferred: u64,
+}
+
+/// Callback invoked from [`Ocp::tick`] when a run completes.
+pub type CompletionCallback = Box<dyn FnMut(&OcpCompletion)>;
+
 /// An Ouessant coprocessor instance.
 ///
 /// See the [crate documentation](crate) for a full integration example.
-#[derive(Debug)]
 pub struct Ocp {
     regs: RegsHandle,
     irq: IrqLine,
@@ -50,6 +66,23 @@ pub struct Ocp {
     socket: RacSocket,
     base: Addr,
     total_cycles: u64,
+    /// Edge detector for the D bit (a start clears D, re-arming it).
+    done_seen: bool,
+    pending_event: Option<OcpCompletion>,
+    on_complete: Option<CompletionCallback>,
+}
+
+impl std::fmt::Debug for Ocp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ocp")
+            .field("base", &format_args!("{:#010x}", self.base))
+            .field("controller", &self.controller)
+            .field("total_cycles", &self.total_cycles)
+            .field("done_seen", &self.done_seen)
+            .field("pending_event", &self.pending_event)
+            .field("on_complete", &self.on_complete.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Ocp {
@@ -79,6 +112,9 @@ impl Ocp {
             socket,
             base,
             total_cycles: 0,
+            done_seen: false,
+            pending_event: None,
+            on_complete: None,
         }
     }
 
@@ -112,6 +148,14 @@ impl Ocp {
         &self.socket
     }
 
+    /// The bus identity of the DMA master port, for attributing
+    /// per-master bus statistics (grants, beats, contention) to this
+    /// OCP.
+    #[must_use]
+    pub fn bus_master(&self) -> ouessant_sim::bus::MasterId {
+        self.controller.master()
+    }
+
     /// The fault that stopped the controller, if any.
     #[must_use]
     pub fn fault(&self) -> Option<&ExecError> {
@@ -138,6 +182,44 @@ impl Ocp {
         self.socket.tick();
         self.controller
             .tick(bus, &self.regs, &mut self.socket, &self.irq);
+
+        // Completion edge: the D bit rose this cycle (a start clears D,
+        // so back-to-back runs produce one event each).
+        let done = self.regs.done();
+        if done && !self.done_seen {
+            let stats = self.controller.stats();
+            let event = OcpCompletion {
+                at_cycle: self.total_cycles,
+                runs_completed: stats.runs_completed,
+                words_transferred: stats.words_transferred,
+            };
+            if let Some(cb) = self.on_complete.as_mut() {
+                cb(&event);
+            }
+            self.pending_event = Some(event);
+        }
+        self.done_seen = done;
+    }
+
+    /// Non-blocking completion poll for dispatchers: returns the event
+    /// for a finished run exactly once, acknowledging the interrupt
+    /// line as a side effect (the dispatcher *is* the handler).
+    ///
+    /// A pool scheduler calls this every cycle instead of re-reading
+    /// the D bit and manually clearing the IRQ.
+    pub fn poll_completion(&mut self) -> Option<OcpCompletion> {
+        let event = self.pending_event.take();
+        if event.is_some() && self.irq.is_raised() {
+            self.irq.clear();
+        }
+        event
+    }
+
+    /// Registers a callback fired from [`Ocp::tick`] at every run
+    /// completion (IRQ-style delivery; [`Ocp::poll_completion`] still
+    /// observes the same events).
+    pub fn set_on_complete(&mut self, callback: CompletionCallback) {
+        self.on_complete = Some(callback);
     }
 
     /// Aggregated statistics.
@@ -181,10 +263,7 @@ mod tests {
                 self.bus.debug_write(RAM_BASE + (i as u32) * 4, *w).unwrap();
             }
             self.ocp.regs().set_bank(0, RAM_BASE).unwrap();
-            self.ocp
-                .regs()
-                .set_prog_size(program.len() as u32)
-                .unwrap();
+            self.ocp.regs().set_prog_size(program.len() as u32).unwrap();
         }
 
         fn run(&mut self, max_cycles: u64) -> u64 {
@@ -206,10 +285,8 @@ mod tests {
     #[test]
     fn dma_round_trip_through_passthrough() {
         let mut fx = fixture(Box::new(PassthroughRac::new(0)));
-        let program = assemble(
-            "mvtc BANK1,0,DMA16,FIFO0\nexecs 16\nmvfc BANK2,0,DMA16,FIFO0\neop",
-        )
-        .unwrap();
+        let program =
+            assemble("mvtc BANK1,0,DMA16,FIFO0\nexecs 16\nmvfc BANK2,0,DMA16,FIFO0\neop").unwrap();
         fx.load_program(&program);
         fx.ocp.regs().set_bank(1, RAM_BASE + 0x1000).unwrap();
         fx.ocp.regs().set_bank(2, RAM_BASE + 0x2000).unwrap();
@@ -254,7 +331,10 @@ mod tests {
         fx.run(100_000);
         let expected = idct_2d_fixed(&coeffs);
         for (i, &e) in expected.iter().enumerate() {
-            let got = fx.bus.debug_read(RAM_BASE + 0x2000 + (i as u32) * 4).unwrap() as i32;
+            let got = fx
+                .bus
+                .debug_read(RAM_BASE + 0x2000 + (i as u32) * 4)
+                .unwrap() as i32;
             assert_eq!(got, e, "output word {i}");
         }
     }
@@ -428,10 +508,48 @@ mod tests {
     }
 
     #[test]
+    fn completion_events_fire_once_per_run() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut fx = fixture(Box::new(PassthroughRac::new(0)));
+        let program =
+            assemble("mvtc BANK1,0,DMA4,FIFO0\nexecs 4\nmvfc BANK2,0,DMA4,FIFO0\neop").unwrap();
+        fx.load_program(&program);
+        fx.ocp.regs().set_bank(1, RAM_BASE + 0x1000).unwrap();
+        fx.ocp.regs().set_bank(2, RAM_BASE + 0x2000).unwrap();
+        fx.ocp.regs().set_irq_enabled(true);
+
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = fired.clone();
+        fx.ocp
+            .set_on_complete(Box::new(move |e| sink.borrow_mut().push(e.runs_completed)));
+
+        assert!(fx.ocp.poll_completion().is_none(), "no event before a run");
+        for run in 1..=3u64 {
+            fx.run(10_000);
+            let event = fx.ocp.poll_completion().expect("event after run");
+            assert_eq!(event.runs_completed, run);
+            assert!(
+                !fx.ocp.irq().is_raised(),
+                "poll_completion acknowledges the IRQ"
+            );
+            assert!(fx.ocp.poll_completion().is_none(), "event delivered once");
+            // Ticking an idle, still-done OCP must not re-fire the edge.
+            for _ in 0..50 {
+                fx.ocp.tick(&mut fx.bus);
+                ouessant_sim::SystemBus::tick(&mut fx.bus);
+            }
+            assert!(fx.ocp.poll_completion().is_none());
+        }
+        assert_eq!(*fired.borrow(), vec![1, 2, 3], "callback saw each run once");
+    }
+
+    #[test]
     fn debug_registers_readable_over_bus() {
         let mut fx = fixture(Box::new(PassthroughRac::new(0)));
-        let program = assemble("mvtc BANK1,0,DMA8,FIFO0\nexecs 8\nmvfc BANK2,0,DMA8,FIFO0\neop")
-            .unwrap();
+        let program =
+            assemble("mvtc BANK1,0,DMA8,FIFO0\nexecs 8\nmvfc BANK2,0,DMA8,FIFO0\neop").unwrap();
         fx.load_program(&program);
         fx.ocp.regs().set_bank(1, RAM_BASE + 0x1000).unwrap();
         fx.ocp.regs().set_bank(2, RAM_BASE + 0x2000).unwrap();

@@ -127,9 +127,7 @@ impl RegisterFile {
         match offset {
             REG_CTRL => Some(self.ctrl),
             REG_PROG_SIZE => Some(self.prog_size),
-            o if (REG_BANK0..REG_BANK0 + 4 * u32::from(NUM_BANKS)).contains(&o)
-                && o % 4 == 0 =>
-            {
+            o if (REG_BANK0..REG_BANK0 + 4 * u32::from(NUM_BANKS)).contains(&o) && o % 4 == 0 => {
                 Some(self.banks[((o - REG_BANK0) / 4) as usize])
             }
             REG_DBG_STATE => Some(self.dbg_state),
@@ -161,9 +159,7 @@ impl RegisterFile {
                 self.prog_size = value;
                 true
             }
-            o if (REG_BANK0..REG_BANK0 + 4 * u32::from(NUM_BANKS)).contains(&o)
-                && o % 4 == 0 =>
-            {
+            o if (REG_BANK0..REG_BANK0 + 4 * u32::from(NUM_BANKS)).contains(&o) && o % 4 == 0 => {
                 self.banks[((o - REG_BANK0) / 4) as usize] = value;
                 true
             }
@@ -264,7 +260,7 @@ impl RegsHandle {
         if index >= NUM_BANKS as u8 {
             return Err(ConfigError::BadBank { index });
         }
-        if base % 4 != 0 {
+        if !base.is_multiple_of(4) {
             return Err(ConfigError::UnalignedBase { base });
         }
         self.with_mut(|r| r.banks[usize::from(index)] = base);
@@ -413,7 +409,9 @@ mod tests {
 
     #[test]
     fn config_error_messages() {
-        assert!(ConfigError::BadBank { index: 9 }.to_string().contains("bank"));
+        assert!(ConfigError::BadBank { index: 9 }
+            .to_string()
+            .contains("bank"));
         assert!(ConfigError::BadProgSize { size: 0 }
             .to_string()
             .contains("program size"));

@@ -1,0 +1,464 @@
+//! The farm: a pool of OCP workers serving a job queue in simulated
+//! time.
+
+use std::error::Error;
+use std::fmt;
+
+use ouessant_sim::bus::{Bus, BusConfig};
+use ouessant_sim::memory::{Sram, SramConfig};
+use ouessant_soc::alloc::{AllocError, BankAllocator};
+
+use crate::job::{JobId, JobKind, JobRecord, JobSpec};
+use crate::policy::{SchedPolicy, WorkerView};
+use crate::queue::{SubmitError, SubmitQueue};
+use crate::stats::{FarmReport, WorkerReport};
+use crate::worker::{build_program, JobRegions, Worker};
+
+/// Static farm parameters.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Submission-queue capacity (jobs).
+    pub queue_capacity: usize,
+    /// Base address of the shared job memory.
+    pub shared_base: u32,
+    /// Size of the shared job memory, in 32-bit words.
+    pub shared_words: u32,
+    /// FIFO depth of every worker OCP; also the admission ceiling on
+    /// payload length (a job's whole payload is streamed into the RAC
+    /// input FIFO before `execs`).
+    pub fifo_depth: usize,
+    /// Bus timing parameters.
+    pub bus: BusConfig,
+    /// Wait states of the shared memory.
+    pub sram: SramConfig,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            shared_base: 0x4000_0000,
+            shared_words: 64 * 1024,
+            fifo_depth: 1024,
+            bus: BusConfig::default(),
+            sram: SramConfig::default(),
+        }
+    }
+}
+
+/// A fatal pool condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmError {
+    /// `run_until_idle` ran out of fuel with work still pending.
+    Stalled {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+        /// Jobs still queued.
+        queued: usize,
+        /// Jobs still on workers.
+        in_flight: usize,
+    },
+    /// A worker's controller faulted (microcode or integration bug).
+    WorkerFault {
+        /// Pool index of the dead worker.
+        worker: usize,
+        /// The controller's fault description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::Stalled {
+                cycles,
+                queued,
+                in_flight,
+            } => write!(
+                f,
+                "farm stalled after {cycles} cycles ({queued} queued, {in_flight} in flight)"
+            ),
+            FarmError::WorkerFault { worker, detail } => {
+                write!(f, "worker {worker} faulted: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for FarmError {}
+
+/// Where worker register windows are mapped.
+const OCP_BASE: u32 = 0x8000_0000;
+/// Spacing between worker register windows.
+const OCP_STRIDE: u32 = 0x1_0000;
+
+/// A multi-OCP serving pool on one shared bus.
+///
+/// Construction order matters to arbitration: the host master is
+/// registered first (highest fixed priority, as a CPU would be), then
+/// one DMA master per added worker.
+///
+/// # Examples
+///
+/// ```
+/// use ouessant_farm::{Farm, FarmConfig, FifoPolicy, JobKind, JobSpec};
+///
+/// let mut farm = Farm::new(FarmConfig::default(), Box::new(FifoPolicy::new()));
+/// farm.add_worker(JobKind::Idct);
+/// let id = farm.submit(JobSpec::new(JobKind::Idct, vec![0; 64]))?;
+/// farm.run_until_idle(100_000)?;
+/// let record = &farm.records()[0];
+/// assert_eq!(record.id, id);
+/// assert_eq!(record.output, vec![0; 64]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Farm {
+    bus: Bus,
+    workers: Vec<Worker>,
+    queue: SubmitQueue,
+    alloc: BankAllocator,
+    policy: Box<dyn SchedPolicy>,
+    config: FarmConfig,
+    completed: Vec<JobRecord>,
+    next_id: u64,
+    /// Cycles dispatch was blocked on shared-memory pressure.
+    alloc_stalls: u64,
+}
+
+impl fmt::Debug for Farm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Farm")
+            .field("policy", &self.policy.name())
+            .field("workers", &self.workers.len())
+            .field("queued", &self.queue.len())
+            .field("completed", &self.completed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Farm {
+    /// An empty pool (no workers yet) scheduling with `policy`.
+    #[must_use]
+    pub fn new(config: FarmConfig, policy: Box<dyn SchedPolicy>) -> Self {
+        let mut bus = Bus::new(config.bus);
+        let _host = bus.register_master("host");
+        bus.add_slave(
+            config.shared_base,
+            Sram::with_words(config.shared_words as usize, config.sram),
+        );
+        let alloc = BankAllocator::new(config.shared_base, config.shared_words);
+        let queue = SubmitQueue::new(config.queue_capacity);
+        Self {
+            bus,
+            workers: Vec::new(),
+            queue,
+            alloc,
+            policy,
+            config,
+            completed: Vec::new(),
+            next_id: 0,
+            alloc_stalls: 0,
+        }
+    }
+
+    /// Adds a fixed-function worker for `kind`; returns its pool index.
+    pub fn add_worker(&mut self, kind: JobKind) -> usize {
+        let base = OCP_BASE + (self.workers.len() as u32) * OCP_STRIDE;
+        self.workers.push(Worker::fixed(
+            &mut self.bus,
+            base,
+            kind,
+            self.config.fifo_depth,
+        ));
+        self.workers.len() - 1
+    }
+
+    /// Adds a DPR worker whose slot holds one configuration per
+    /// `(kind, bitstream_bytes)` pair; returns its pool index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty or repeats a kind.
+    pub fn add_dpr_worker(&mut self, configs: &[(JobKind, u64)]) -> usize {
+        let base = OCP_BASE + (self.workers.len() as u32) * OCP_STRIDE;
+        self.workers.push(Worker::reconfigurable(
+            &mut self.bus,
+            base,
+            configs,
+            self.config.fifo_depth,
+        ));
+        self.workers.len() - 1
+    }
+
+    /// The workers in the pool.
+    #[must_use]
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// The scheduling policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Current simulated cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.bus.now().count()
+    }
+
+    /// Jobs waiting in the queue.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently on workers.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.workers.iter().filter(|w| !w.is_idle()).count()
+    }
+
+    /// Completed jobs, in completion order.
+    #[must_use]
+    pub fn records(&self) -> &[JobRecord] {
+        &self.completed
+    }
+
+    /// Drains the completed-job records.
+    pub fn take_records(&mut self) -> Vec<JobRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Cycles dispatch was blocked on shared-memory pressure.
+    #[must_use]
+    pub fn alloc_stalls(&self) -> u64 {
+        self.alloc_stalls
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] is the backpressure signal; the other
+    /// variants reject malformed or unserviceable jobs at admission
+    /// (see [`SubmitError`]).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let serviceable = self.workers.iter().any(|w| w.caps().contains(&spec.kind));
+        let payload_limit = u32::try_from(self.config.fifo_depth).unwrap_or(u32::MAX);
+        let id = JobId(self.next_id);
+        let admitted = self
+            .queue
+            .submit(id, spec, self.now(), payload_limit, serviceable)?;
+        self.next_id += 1;
+        Ok(admitted)
+    }
+
+    /// Advances the pool one clock cycle: dispatch, then every worker,
+    /// then the bus, then completion collection.
+    pub fn tick(&mut self) {
+        self.dispatch();
+        for w in &mut self.workers {
+            w.tick(&mut self.bus);
+        }
+        self.bus.tick();
+        self.collect_completions();
+    }
+
+    /// Ticks until the queue is empty and every worker is idle.
+    ///
+    /// Returns the number of cycles simulated by this call.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError::Stalled`] after `fuel` cycles with work pending,
+    /// [`FarmError::WorkerFault`] if a controller dies.
+    pub fn run_until_idle(&mut self, fuel: u64) -> Result<u64, FarmError> {
+        let start = self.now();
+        while !self.queue.is_empty() || self.in_flight() > 0 {
+            if self.now() - start >= fuel {
+                return Err(FarmError::Stalled {
+                    cycles: self.now() - start,
+                    queued: self.queue.len(),
+                    in_flight: self.in_flight(),
+                });
+            }
+            self.tick();
+            for (i, w) in self.workers.iter().enumerate() {
+                if let Some(detail) = w.fault() {
+                    return Err(FarmError::WorkerFault { worker: i, detail });
+                }
+            }
+        }
+        Ok(self.now() - start)
+    }
+
+    /// Builds the aggregate serving report.
+    #[must_use]
+    pub fn report(&self) -> FarmReport {
+        let total_cycles = self.now();
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                let stats = self.bus.master_stats(w.ocp.bus_master());
+                WorkerReport {
+                    name: w.name().to_string(),
+                    jobs: w.jobs_served(),
+                    swaps: w.swaps(),
+                    busy_cycles: w.busy_cycles(),
+                    utilization: if total_cycles == 0 {
+                        0.0
+                    } else {
+                        w.busy_cycles() as f64 / total_cycles as f64
+                    },
+                    bus_grants: stats.grants,
+                    bus_beats: stats.beats,
+                    contention_cycles: stats.contention_cycles,
+                }
+            })
+            .collect();
+        FarmReport::build(
+            self.policy.name().to_string(),
+            total_cycles,
+            &self.completed,
+            &self.queue,
+            self.alloc.stats(),
+            workers,
+        )
+    }
+
+    /// One scheduling round: asks the policy for assignments until it
+    /// passes or shared memory runs out.
+    fn dispatch(&mut self) {
+        let now = self.now();
+        loop {
+            let swap_costs: Vec<Vec<u64>> =
+                self.workers.iter().map(Worker::swap_costs_view).collect();
+            let views: Vec<WorkerView<'_>> = self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| WorkerView {
+                    index: i,
+                    idle: w.is_idle(),
+                    caps: w.caps(),
+                    loaded: w.loaded_config(),
+                    swap_costs: &swap_costs[i],
+                })
+                .collect();
+            let Some(pick) = self.policy.pick(now, self.queue.pending(), &views) else {
+                return;
+            };
+            let worker = &self.workers[pick.worker_index];
+            assert!(
+                worker.is_idle(),
+                "policy {} assigned a job to busy worker {}",
+                self.policy.name(),
+                pick.worker_index
+            );
+            let job_kind = self.queue.pending()[pick.queue_index].kind;
+            let target = worker
+                .caps()
+                .iter()
+                .position(|&k| k == job_kind)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "policy {} sent a {job_kind} job to incapable worker {}",
+                        self.policy.name(),
+                        pick.worker_index
+                    )
+                });
+            let input_words = self.queue.pending()[pick.queue_index].input_words;
+            let program = build_program(job_kind, input_words, target, worker.loaded_config());
+            let Some(regions) = self.lease_regions(
+                program.len() as u32,
+                input_words,
+                job_kind.output_words(input_words),
+            ) else {
+                // Memory pressure: leave the job queued; retry next cycle.
+                self.alloc_stalls += 1;
+                return;
+            };
+            let job = self.queue.take(pick.queue_index);
+            self.workers[pick.worker_index].launch(
+                &mut self.bus,
+                now,
+                job,
+                &program,
+                target,
+                regions,
+            );
+        }
+    }
+
+    /// Leases the three regions of one job, unwinding on partial
+    /// failure.
+    fn lease_regions(&mut self, prog: u32, input: u32, output: u32) -> Option<JobRegions> {
+        let prog = self.alloc.alloc(prog).ok()?;
+        let input = match self.alloc.alloc(input) {
+            Ok(r) => r,
+            Err(AllocError::OutOfMemory { .. }) => {
+                self.alloc.free(prog).expect("just leased");
+                return None;
+            }
+            Err(e) => unreachable!("validated request: {e}"),
+        };
+        let output = match self.alloc.alloc(output) {
+            Ok(r) => r,
+            Err(AllocError::OutOfMemory { .. }) => {
+                self.alloc.free(prog).expect("just leased");
+                self.alloc.free(input).expect("just leased");
+                return None;
+            }
+            Err(e) => unreachable!("validated request: {e}"),
+        };
+        Some(JobRegions {
+            prog,
+            input,
+            output,
+        })
+    }
+
+    /// Harvests finished jobs: reads back outputs, frees regions and
+    /// appends the records.
+    fn collect_completions(&mut self) {
+        let now = self.now();
+        for wi in 0..self.workers.len() {
+            if self.workers[wi].ocp.poll_completion().is_none() {
+                continue;
+            }
+            let done = self.workers[wi]
+                .note_completion()
+                .expect("completion event implies an active job");
+            let mut output = Vec::with_capacity(done.output_words as usize);
+            for i in 0..done.output_words {
+                output.push(
+                    self.bus
+                        .debug_read(done.regions.output.base() + i * 4)
+                        .expect("output region is mapped SRAM"),
+                );
+            }
+            let contention_now = self
+                .bus
+                .master_stats(self.workers[wi].ocp.bus_master())
+                .contention_cycles;
+            for region in [done.regions.prog, done.regions.input, done.regions.output] {
+                self.alloc.free(region).expect("regions leased at dispatch");
+            }
+            self.completed.push(JobRecord {
+                id: done.id,
+                kind: done.kind,
+                worker: wi,
+                submitted_at: done.submitted_at,
+                started_at: done.started_at,
+                completed_at: now,
+                swapped: done.swapped,
+                contention_cycles: contention_now - done.contention_at_start,
+                deadline: done.deadline,
+                output,
+            });
+        }
+    }
+}

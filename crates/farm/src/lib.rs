@@ -1,0 +1,78 @@
+//! # ouessant-farm: a multi-OCP accelerator-pool serving layer
+//!
+//! The paper integrates *one* Ouessant coprocessor next to a CPU and
+//! measures single-offload speedups. Production serving is a different
+//! shape: a stream of heterogeneous requests, a *pool* of coprocessors
+//! sharing one bus, and a scheduler deciding placement — including
+//! whether to pay a DPR bitstream swap (§VI) or batch same-kind work to
+//! amortize it. This crate is that layer, built entirely on the
+//! repository's cycle-level simulation:
+//!
+//! * [`job`] — the unit of work: a [`JobKind`] (IDCT block, DFT, or
+//!   streaming copy), the input payload, priority and deadline; every
+//!   completed job yields a [`JobRecord`] with its output and timing
+//!   breakdown;
+//! * [`queue`] — the bounded admission queue: malformed payloads are
+//!   bounced at submission and a full queue answers
+//!   [`SubmitError::QueueFull`] (backpressure);
+//! * [`policy`] — pluggable scheduling via [`SchedPolicy`]:
+//!   [`FifoPolicy`], [`RoundRobinPolicy`], and [`DprAffinityPolicy`]
+//!   (batch jobs onto workers whose loaded configuration matches,
+//!   swapping only when no same-kind work remains);
+//! * [`worker`] — one OCP per [`Worker`], fixed-function or carrying a
+//!   `ReconfigurableSlot`; swaps run as `rcfg` at the head of a job's
+//!   own microcode, so they can never disturb an in-flight job;
+//! * [`farm`] — the [`Farm`] itself: shared SRAM with a per-job
+//!   [`BankAllocator`](ouessant_soc::alloc::BankAllocator) lease,
+//!   dispatch, cycle-accurate execution on the shared AHB-like bus, and
+//!   completion harvesting via the OCP's poll/IRQ interface;
+//! * [`stats`] — the [`FarmReport`]: queue-wait / service / end-to-end
+//!   latency distributions (p50/p95/p99), throughput in jobs per
+//!   megacycle, per-worker utilization, bus-contention stalls and swap
+//!   counts.
+//!
+//! ## Example
+//!
+//! Serve a mixed IDCT + DFT load on a three-worker pool:
+//!
+//! ```
+//! use ouessant_farm::{DprAffinityPolicy, Farm, FarmConfig, JobKind, JobSpec};
+//!
+//! let mut farm = Farm::new(FarmConfig::default(), Box::new(DprAffinityPolicy::new()));
+//! farm.add_worker(JobKind::Idct);
+//! farm.add_worker(JobKind::Dft { points: 64 });
+//! farm.add_dpr_worker(&[(JobKind::Idct, 40_000), (JobKind::Dft { points: 64 }, 60_000)]);
+//!
+//! for i in 0..20u32 {
+//!     let kind = if i % 2 == 0 { JobKind::Idct } else { JobKind::Dft { points: 64 } };
+//!     let words = kind.required_input_words().unwrap();
+//!     farm.submit(JobSpec::new(kind, (0..words).map(|w| w * i).collect()))?;
+//! }
+//! farm.run_until_idle(10_000_000)?;
+//!
+//! let report = farm.report();
+//! assert_eq!(report.jobs_completed, 20);
+//! for job in farm.records() {
+//!     assert!(job.met_deadline());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod farm;
+pub mod job;
+pub mod policy;
+pub mod queue;
+pub mod stats;
+pub mod worker;
+
+pub use farm::{Farm, FarmConfig, FarmError};
+pub use job::{JobId, JobKind, JobRecord, JobSpec};
+pub use policy::{
+    Assignment, DprAffinityPolicy, FifoPolicy, RoundRobinPolicy, SchedPolicy, WorkerView,
+};
+pub use queue::{PendingJob, SubmitError, SubmitQueue};
+pub use stats::{FarmReport, LatencyStats, WorkerReport};
+pub use worker::Worker;

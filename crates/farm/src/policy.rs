@@ -1,0 +1,384 @@
+//! Pluggable scheduling policies.
+//!
+//! A policy sees the pending queue (submission order) and a snapshot of
+//! every worker, and names one `(job, worker)` pairing at a time; the
+//! farm calls [`SchedPolicy::pick`] repeatedly each cycle until the
+//! policy passes. Three policies ship with the crate:
+//!
+//! * [`FifoPolicy`] — serve in arrival order on the first capable idle
+//!   worker;
+//! * [`RoundRobinPolicy`] — rotate across workers to spread load;
+//! * [`DprAffinityPolicy`] — batch jobs onto workers whose loaded DPR
+//!   configuration already matches, amortizing bitstream-swap cost,
+//!   with a patience bound so no kind starves.
+
+use std::collections::VecDeque;
+
+use crate::job::JobKind;
+use crate::queue::PendingJob;
+
+/// A scheduler's snapshot of one worker.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerView<'a> {
+    /// The worker's pool index.
+    pub index: usize,
+    /// Whether the worker can accept a job this cycle.
+    pub idle: bool,
+    /// The kinds this worker can serve; index `i` is DPR configuration
+    /// `i` (a fixed-function worker has exactly one entry).
+    pub caps: &'a [JobKind],
+    /// The capability index currently loaded in the fabric.
+    pub loaded: usize,
+    /// Cycles an `rcfg` to capability `i` costs right now (0 or 1 when
+    /// `i` is already loaded, the full bitstream load otherwise).
+    pub swap_costs: &'a [u64],
+}
+
+impl WorkerView<'_> {
+    /// The capability index serving `kind`, if any.
+    #[must_use]
+    pub fn supports(&self, kind: JobKind) -> Option<usize> {
+        self.caps.iter().position(|&c| c == kind)
+    }
+
+    /// The swap cost this worker would pay to serve `kind` (`None` if
+    /// it cannot).
+    #[must_use]
+    pub fn swap_cost_for(&self, kind: JobKind) -> Option<u64> {
+        let idx = self.supports(kind)?;
+        Some(if idx == self.loaded {
+            0
+        } else {
+            self.swap_costs[idx]
+        })
+    }
+
+    /// The kind the loaded configuration serves.
+    #[must_use]
+    pub fn loaded_kind(&self) -> JobKind {
+        self.caps[self.loaded]
+    }
+}
+
+/// One scheduling decision: run queue entry `queue_index` on worker
+/// `worker_index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Index into the pending queue shown to the policy.
+    pub queue_index: usize,
+    /// Index into the worker pool.
+    pub worker_index: usize,
+}
+
+/// A scheduling policy.
+///
+/// Implementations must be deterministic: the farm is a cycle-level
+/// simulation and every run must replay identically.
+pub trait SchedPolicy {
+    /// The policy's display name (reports, traces).
+    fn name(&self) -> &str;
+
+    /// Names one dispatch, or `None` to pass this cycle.
+    ///
+    /// Called repeatedly within a cycle: after each accepted
+    /// assignment the farm re-invokes `pick` with the dispatched job
+    /// removed and the chosen worker busy, so policies never see stale
+    /// state.
+    fn pick(
+        &mut self,
+        now: u64,
+        queue: &VecDeque<PendingJob>,
+        workers: &[WorkerView<'_>],
+    ) -> Option<Assignment>;
+}
+
+/// Serve in strict arrival order: the oldest job that has *some* idle
+/// capable worker runs first (a job whose kind has no idle worker is
+/// skipped, so heterogeneous pools don't head-of-line block).
+#[derive(Debug, Default)]
+pub struct FifoPolicy;
+
+impl FifoPolicy {
+    /// A FIFO policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SchedPolicy for FifoPolicy {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+
+    fn pick(
+        &mut self,
+        _now: u64,
+        queue: &VecDeque<PendingJob>,
+        workers: &[WorkerView<'_>],
+    ) -> Option<Assignment> {
+        for (qi, job) in queue.iter().enumerate() {
+            if let Some(w) = workers
+                .iter()
+                .find(|w| w.idle && w.supports(job.kind).is_some())
+            {
+                return Some(Assignment {
+                    queue_index: qi,
+                    worker_index: w.index,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Rotate across workers: each idle worker in turn takes the oldest job
+/// it can serve. Spreads a homogeneous load evenly over the pool.
+#[derive(Debug, Default)]
+pub struct RoundRobinPolicy {
+    cursor: usize,
+}
+
+impl RoundRobinPolicy {
+    /// A round-robin policy starting at worker 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedPolicy for RoundRobinPolicy {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn pick(
+        &mut self,
+        _now: u64,
+        queue: &VecDeque<PendingJob>,
+        workers: &[WorkerView<'_>],
+    ) -> Option<Assignment> {
+        if workers.is_empty() {
+            return None;
+        }
+        for off in 0..workers.len() {
+            let w = &workers[(self.cursor + off) % workers.len()];
+            if !w.idle {
+                continue;
+            }
+            if let Some(qi) = queue.iter().position(|job| w.supports(job.kind).is_some()) {
+                self.cursor = (w.index + 1) % workers.len();
+                return Some(Assignment {
+                    queue_index: qi,
+                    worker_index: w.index,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// DPR-aware batching: a worker preferentially serves jobs matching the
+/// configuration already loaded in its fabric, swapping only when no
+/// same-kind work remains — so a run of same-kind jobs pays one
+/// bitstream load instead of one per job.
+///
+/// Starvation guard: a job older than `patience` cycles is served at
+/// the next opportunity even if that forces a swap, so a continuous
+/// stream of one kind cannot starve the others indefinitely.
+#[derive(Debug)]
+pub struct DprAffinityPolicy {
+    patience: u64,
+}
+
+impl DprAffinityPolicy {
+    /// Affinity scheduling with the default patience (8192 cycles —
+    /// a few bitstream loads at the paper's ICAP rate).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { patience: 8192 }
+    }
+
+    /// Affinity scheduling that force-serves any job older than
+    /// `patience` cycles.
+    #[must_use]
+    pub fn with_patience(patience: u64) -> Self {
+        Self { patience }
+    }
+}
+
+impl Default for DprAffinityPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedPolicy for DprAffinityPolicy {
+    fn name(&self) -> &str {
+        "dpr-affinity"
+    }
+
+    fn pick(
+        &mut self,
+        now: u64,
+        queue: &VecDeque<PendingJob>,
+        workers: &[WorkerView<'_>],
+    ) -> Option<Assignment> {
+        // 1. Starvation guard: the oldest over-patience job runs now,
+        //    on the cheapest idle worker that can take it.
+        for (qi, job) in queue.iter().enumerate() {
+            if now.saturating_sub(job.submitted_at) <= self.patience {
+                continue;
+            }
+            let best = workers
+                .iter()
+                .filter(|w| w.idle)
+                .filter_map(|w| w.swap_cost_for(job.kind).map(|c| (c, w.index)))
+                .min();
+            if let Some((_, wi)) = best {
+                return Some(Assignment {
+                    queue_index: qi,
+                    worker_index: wi,
+                });
+            }
+        }
+        // 2. Affinity: an idle worker takes the oldest job matching its
+        //    loaded configuration (zero swap).
+        for w in workers.iter().filter(|w| w.idle) {
+            if let Some(qi) = queue.iter().position(|job| job.kind == w.loaded_kind()) {
+                return Some(Assignment {
+                    queue_index: qi,
+                    worker_index: w.index,
+                });
+            }
+        }
+        // 3. No affine work anywhere: swap for the oldest runnable job,
+        //    paying the cheapest load available.
+        for (qi, job) in queue.iter().enumerate() {
+            let best = workers
+                .iter()
+                .filter(|w| w.idle)
+                .filter_map(|w| w.swap_cost_for(job.kind).map(|c| (c, w.index)))
+                .min();
+            if let Some((_, wi)) = best {
+                return Some(Assignment {
+                    queue_index: qi,
+                    worker_index: wi,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    fn job(id: u64, kind: JobKind, submitted_at: u64) -> PendingJob {
+        PendingJob {
+            id: JobId(id),
+            kind,
+            input_words: 1,
+            submitted_at,
+            priority: 0,
+            deadline: None,
+            input: vec![0],
+        }
+    }
+
+    const IDCT: JobKind = JobKind::Idct;
+    const DFT: JobKind = JobKind::Dft { points: 64 };
+
+    #[test]
+    fn fifo_respects_arrival_order_and_capability() {
+        let queue: VecDeque<PendingJob> = vec![job(0, DFT, 0), job(1, IDCT, 1)].into();
+        let idct_caps = [IDCT];
+        let costs = [0u64];
+        // Only an IDCT worker is idle: the DFT head is skipped.
+        let workers = [WorkerView {
+            index: 0,
+            idle: true,
+            caps: &idct_caps,
+            loaded: 0,
+            swap_costs: &costs,
+        }];
+        let pick = FifoPolicy::new().pick(2, &queue, &workers).unwrap();
+        assert_eq!(pick.queue_index, 1);
+        assert_eq!(pick.worker_index, 0);
+    }
+
+    #[test]
+    fn round_robin_rotates_workers() {
+        let queue: VecDeque<PendingJob> = vec![job(0, IDCT, 0), job(1, IDCT, 0)].into();
+        let caps = [IDCT];
+        let costs = [0u64];
+        let workers: Vec<WorkerView<'_>> = (0..2)
+            .map(|i| WorkerView {
+                index: i,
+                idle: true,
+                caps: &caps,
+                loaded: 0,
+                swap_costs: &costs,
+            })
+            .collect();
+        let mut rr = RoundRobinPolicy::new();
+        let first = rr.pick(0, &queue, &workers).unwrap();
+        let second = rr.pick(0, &queue, &workers).unwrap();
+        assert_eq!(first.worker_index, 0);
+        assert_eq!(second.worker_index, 1, "cursor advanced");
+    }
+
+    #[test]
+    fn affinity_prefers_loaded_kind_over_older_job() {
+        let queue: VecDeque<PendingJob> = vec![job(0, DFT, 0), job(1, IDCT, 5)].into();
+        let caps = [IDCT, DFT];
+        let costs = [10_000u64, 10_000];
+        let workers = [WorkerView {
+            index: 0,
+            idle: true,
+            caps: &caps,
+            loaded: 0, // IDCT loaded
+            swap_costs: &costs,
+        }];
+        let pick = DprAffinityPolicy::new().pick(10, &queue, &workers).unwrap();
+        assert_eq!(pick.queue_index, 1, "newer IDCT batched before older DFT");
+    }
+
+    #[test]
+    fn affinity_swaps_when_no_affine_work_left() {
+        let queue: VecDeque<PendingJob> = vec![job(0, DFT, 0)].into();
+        let caps = [IDCT, DFT];
+        let costs = [10_000u64, 10_000];
+        let workers = [WorkerView {
+            index: 0,
+            idle: true,
+            caps: &caps,
+            loaded: 0,
+            swap_costs: &costs,
+        }];
+        let pick = DprAffinityPolicy::new().pick(10, &queue, &workers).unwrap();
+        assert_eq!(pick.queue_index, 0);
+    }
+
+    #[test]
+    fn affinity_patience_overrides_batching() {
+        // An old DFT job plus endless fresh IDCT work: patience forces
+        // the DFT through.
+        let queue: VecDeque<PendingJob> = vec![job(0, DFT, 0), job(1, IDCT, 990)].into();
+        let caps = [IDCT, DFT];
+        let costs = [10_000u64, 10_000];
+        let workers = [WorkerView {
+            index: 0,
+            idle: true,
+            caps: &caps,
+            loaded: 0,
+            swap_costs: &costs,
+        }];
+        let pick = DprAffinityPolicy::with_patience(100)
+            .pick(1_000, &queue, &workers)
+            .unwrap();
+        assert_eq!(pick.queue_index, 0, "over-patience job served first");
+    }
+}

@@ -1,0 +1,324 @@
+//! The bounded submission queue: admission control and backpressure.
+//!
+//! The farm front-end accepts jobs into a fixed-capacity queue. A full
+//! queue rejects with [`SubmitError::QueueFull`] — the caller's signal
+//! to back off — and malformed payloads are rejected *before* they
+//! consume a slot, so one bad client cannot poison the pool.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::job::{JobId, JobKind, JobSpec};
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — back off and resubmit later.
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The payload length does not match the kind's contract
+    /// (e.g. an IDCT job must carry exactly 64 words).
+    BadPayload {
+        /// The offending kind.
+        kind: JobKind,
+        /// Words the kind requires.
+        expected: u32,
+        /// Words actually supplied.
+        got: u32,
+    },
+    /// The payload is empty.
+    EmptyPayload,
+    /// The payload exceeds what any worker's FIFOs can buffer.
+    PayloadTooLarge {
+        /// Words supplied.
+        got: u32,
+        /// The configured ceiling.
+        limit: u32,
+    },
+    /// No worker in the pool can ever serve this kind.
+    NoCapableWorker {
+        /// The unserviceable kind.
+        kind: JobKind,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full ({capacity} jobs)")
+            }
+            SubmitError::BadPayload {
+                kind,
+                expected,
+                got,
+            } => write!(f, "{kind} jobs need exactly {expected} words, got {got}"),
+            SubmitError::EmptyPayload => f.write_str("empty payload"),
+            SubmitError::PayloadTooLarge { got, limit } => {
+                write!(
+                    f,
+                    "payload of {got} words exceeds the {limit}-word FIFO limit"
+                )
+            }
+            SubmitError::NoCapableWorker { kind } => {
+                write!(f, "no worker in the pool can serve {kind} jobs")
+            }
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+/// A job sitting in the queue, visible to scheduling policies.
+#[derive(Debug, Clone)]
+pub struct PendingJob {
+    /// The job's identity.
+    pub id: JobId,
+    /// The accelerator kind it needs.
+    pub kind: JobKind,
+    /// Payload length in words.
+    pub input_words: u32,
+    /// Cycle it was admitted.
+    pub submitted_at: u64,
+    /// Client-assigned priority (0 = normal).
+    pub priority: u8,
+    /// Absolute-cycle deadline, if any.
+    pub deadline: Option<u64>,
+    /// The payload itself (consumed at dispatch).
+    pub(crate) input: Vec<u32>,
+}
+
+/// A bounded FIFO of admitted jobs.
+///
+/// Policies see the queue in submission order; removal by index keeps
+/// out-of-order dispatch (e.g. DPR-affinity batching) cheap.
+#[derive(Debug)]
+pub struct SubmitQueue {
+    jobs: VecDeque<PendingJob>,
+    capacity: usize,
+    /// Submissions rejected with `QueueFull`.
+    rejected_full: u64,
+    /// Submissions rejected for any other reason.
+    rejected_invalid: u64,
+    /// High-water mark of the queue depth.
+    peak_depth: usize,
+    admitted: u64,
+}
+
+impl SubmitQueue {
+    /// An empty queue admitting at most `capacity` jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Self {
+            jobs: VecDeque::with_capacity(capacity),
+            capacity,
+            rejected_full: 0,
+            rejected_invalid: 0,
+            peak_depth: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Jobs currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total jobs admitted since creation.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Submissions rejected with [`SubmitError::QueueFull`].
+    #[must_use]
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full
+    }
+
+    /// Submissions rejected for malformed payloads or unserviceable
+    /// kinds.
+    #[must_use]
+    pub fn rejected_invalid(&self) -> u64 {
+        self.rejected_invalid
+    }
+
+    /// High-water mark of the queue depth.
+    #[must_use]
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// The queued jobs in submission order (for policies).
+    #[must_use]
+    pub fn pending(&self) -> &VecDeque<PendingJob> {
+        &self.jobs
+    }
+
+    /// Validates and admits `spec` at cycle `now`.
+    ///
+    /// `payload_limit` is the farm-wide FIFO buffering ceiling;
+    /// `serviceable` tells the queue whether any worker can ever run
+    /// the kind (checked at admission so hopeless jobs fail fast).
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`]; rejected submissions leave the queue
+    /// untouched.
+    pub fn submit(
+        &mut self,
+        id: JobId,
+        spec: JobSpec,
+        now: u64,
+        payload_limit: u32,
+        serviceable: bool,
+    ) -> Result<JobId, SubmitError> {
+        let got = u32::try_from(spec.input.len()).unwrap_or(u32::MAX);
+        if got == 0 {
+            self.rejected_invalid += 1;
+            return Err(SubmitError::EmptyPayload);
+        }
+        if let Some(expected) = spec.kind.required_input_words() {
+            if got != expected {
+                self.rejected_invalid += 1;
+                return Err(SubmitError::BadPayload {
+                    kind: spec.kind,
+                    expected,
+                    got,
+                });
+            }
+        }
+        if got > payload_limit {
+            self.rejected_invalid += 1;
+            return Err(SubmitError::PayloadTooLarge {
+                got,
+                limit: payload_limit,
+            });
+        }
+        if !serviceable {
+            self.rejected_invalid += 1;
+            return Err(SubmitError::NoCapableWorker { kind: spec.kind });
+        }
+        if self.jobs.len() >= self.capacity {
+            self.rejected_full += 1;
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.jobs.push_back(PendingJob {
+            id,
+            kind: spec.kind,
+            input_words: got,
+            submitted_at: now,
+            priority: spec.priority,
+            deadline: spec.deadline,
+            input: spec.input,
+        });
+        self.admitted += 1;
+        self.peak_depth = self.peak_depth.max(self.jobs.len());
+        Ok(id)
+    }
+
+    /// Removes and returns the job at `index` (dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range — policies must return indices
+    /// into the queue they were shown.
+    pub fn take(&mut self, index: usize) -> PendingJob {
+        self.jobs
+            .remove(index)
+            .expect("policy returned an out-of-range queue index")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idct_spec() -> JobSpec {
+        JobSpec::new(JobKind::Idct, vec![0; 64])
+    }
+
+    #[test]
+    fn admits_until_capacity_then_rejects() {
+        let mut q = SubmitQueue::new(2);
+        q.submit(JobId(0), idct_spec(), 0, 1024, true).unwrap();
+        q.submit(JobId(1), idct_spec(), 0, 1024, true).unwrap();
+        assert_eq!(
+            q.submit(JobId(2), idct_spec(), 0, 1024, true),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(q.rejected_full(), 1);
+        assert_eq!(q.peak_depth(), 2);
+    }
+
+    #[test]
+    fn validates_payload_contracts() {
+        let mut q = SubmitQueue::new(4);
+        let bad = JobSpec::new(JobKind::Idct, vec![0; 63]);
+        assert!(matches!(
+            q.submit(JobId(0), bad, 0, 1024, true),
+            Err(SubmitError::BadPayload {
+                expected: 64,
+                got: 63,
+                ..
+            })
+        ));
+        let empty = JobSpec::new(JobKind::Copy { scale: 1 }, vec![]);
+        assert_eq!(
+            q.submit(JobId(1), empty, 0, 1024, true),
+            Err(SubmitError::EmptyPayload)
+        );
+        let huge = JobSpec::new(JobKind::Copy { scale: 1 }, vec![0; 2048]);
+        assert_eq!(
+            q.submit(JobId(2), huge, 0, 1024, true),
+            Err(SubmitError::PayloadTooLarge {
+                got: 2048,
+                limit: 1024
+            })
+        );
+        let fine = JobSpec::new(JobKind::Copy { scale: 1 }, vec![0; 8]);
+        assert_eq!(
+            q.submit(JobId(3), fine, 0, 1024, false),
+            Err(SubmitError::NoCapableWorker {
+                kind: JobKind::Copy { scale: 1 }
+            })
+        );
+        assert_eq!(q.rejected_invalid(), 4);
+        assert!(q.is_empty(), "rejects consume no slot");
+    }
+
+    #[test]
+    fn take_removes_mid_queue() {
+        let mut q = SubmitQueue::new(4);
+        for i in 0..3 {
+            q.submit(JobId(i), idct_spec(), i, 1024, true).unwrap();
+        }
+        let taken = q.take(1);
+        assert_eq!(taken.id, JobId(1));
+        let left: Vec<u64> = q.pending().iter().map(|j| j.id.0).collect();
+        assert_eq!(left, vec![0, 2]);
+    }
+}

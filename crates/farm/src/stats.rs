@@ -1,0 +1,252 @@
+//! Pool statistics: per-job distributions and the aggregate
+//! [`FarmReport`].
+
+use std::fmt;
+
+use ouessant_soc::alloc::AllocStats;
+
+use crate::job::JobRecord;
+
+/// Distribution summary of a cycle-count sample set (nearest-rank
+/// percentiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean, rounded down.
+    pub mean: u64,
+    /// 50th percentile.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes `samples` (order irrelevant; empty yields zeros).
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        let rank = |p: u64| -> u64 {
+            // Nearest-rank: ceil(p/100 * n), 1-based.
+            let n = samples.len() as u64;
+            let r = (p * n).div_ceil(100).max(1);
+            samples[(r - 1) as usize]
+        };
+        Self {
+            count,
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            mean: (sum / u128::from(count)) as u64,
+            p50: rank(50),
+            p95: rank(95),
+            p99: rank(99),
+        }
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:>6}  p50 {:>6}  p95 {:>6}  p99 {:>6}  max {:>6}  mean {:>6}",
+            self.min, self.p50, self.p95, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// One worker's share of the pool report.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Display name (kind and base address).
+    pub name: String,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Bitstream swaps paid.
+    pub swaps: u64,
+    /// Cycles with a job on the worker.
+    pub busy_cycles: u64,
+    /// `busy_cycles / total_cycles`.
+    pub utilization: f64,
+    /// Bus grants won by the worker's DMA master.
+    pub bus_grants: u64,
+    /// Data beats moved by the worker's DMA master.
+    pub bus_beats: u64,
+    /// Cycles the worker's DMA master lost arbitration.
+    pub contention_cycles: u64,
+}
+
+/// The pool-level serving report.
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    /// Scheduling policy that produced this run.
+    pub policy: String,
+    /// Simulated cycles elapsed.
+    pub total_cycles: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+    /// Submissions bounced with `QueueFull`.
+    pub rejected_full: u64,
+    /// Submissions bounced at validation.
+    pub rejected_invalid: u64,
+    /// High-water mark of the queue depth.
+    pub queue_peak_depth: usize,
+    /// Cycles jobs waited in the queue.
+    pub queue_wait: LatencyStats,
+    /// Dispatch-to-completion cycles (includes swaps).
+    pub service: LatencyStats,
+    /// End-to-end (submit-to-completion) cycles.
+    pub latency: LatencyStats,
+    /// Completed jobs per million simulated cycles.
+    pub throughput_jobs_per_mcycle: f64,
+    /// Total bitstream swaps across the pool.
+    pub swaps: u64,
+    /// Jobs that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Total bus-contention cycles charged to workers.
+    pub contention_cycles: u64,
+    /// Completed-job counts per kind (kind name, count), sorted by name.
+    pub per_kind: Vec<(String, u64)>,
+    /// Shared-memory allocator watermarks.
+    pub alloc: AllocStats,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl FarmReport {
+    /// Builds the aggregate report from completed-job records and the
+    /// admission queue's counters.
+    #[must_use]
+    pub(crate) fn build(
+        policy: String,
+        total_cycles: u64,
+        records: &[JobRecord],
+        queue: &crate::queue::SubmitQueue,
+        alloc: AllocStats,
+        workers: Vec<WorkerReport>,
+    ) -> Self {
+        let rejected_full = queue.rejected_full();
+        let rejected_invalid = queue.rejected_invalid();
+        let queue_peak_depth = queue.peak_depth();
+        let queue_wait =
+            LatencyStats::from_samples(records.iter().map(JobRecord::queue_wait).collect());
+        let service =
+            LatencyStats::from_samples(records.iter().map(JobRecord::service_cycles).collect());
+        let latency = LatencyStats::from_samples(records.iter().map(JobRecord::latency).collect());
+        let mut per_kind: Vec<(String, u64)> = Vec::new();
+        for r in records {
+            let name = r.kind.to_string();
+            match per_kind.iter_mut().find(|(k, _)| *k == name) {
+                Some((_, n)) => *n += 1,
+                None => per_kind.push((name, 1)),
+            }
+        }
+        per_kind.sort();
+        let throughput = if total_cycles == 0 {
+            0.0
+        } else {
+            records.len() as f64 * 1.0e6 / total_cycles as f64
+        };
+        Self {
+            policy,
+            total_cycles,
+            jobs_completed: records.len() as u64,
+            rejected_full,
+            rejected_invalid,
+            queue_peak_depth,
+            queue_wait,
+            service,
+            latency,
+            throughput_jobs_per_mcycle: throughput,
+            swaps: workers.iter().map(|w| w.swaps).sum(),
+            deadline_misses: records.iter().filter(|r| !r.met_deadline()).count() as u64,
+            contention_cycles: records.iter().map(|r| r.contention_cycles).sum(),
+            per_kind,
+            alloc,
+            workers,
+        }
+    }
+}
+
+impl fmt::Display for FarmReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── farm report ({} policy) ──", self.policy)?;
+        writeln!(
+            f,
+            "jobs: {} completed, {} rejected (queue-full), {} rejected (invalid)",
+            self.jobs_completed, self.rejected_full, self.rejected_invalid
+        )?;
+        write!(f, "kinds:")?;
+        for (kind, n) in &self.per_kind {
+            write!(f, "  {kind}×{n}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "cycles: {}   throughput: {:.2} jobs/Mcycle   swaps: {}   deadline misses: {}",
+            self.total_cycles, self.throughput_jobs_per_mcycle, self.swaps, self.deadline_misses
+        )?;
+        writeln!(f, "queue wait: {}", self.queue_wait)?;
+        writeln!(f, "service:    {}", self.service)?;
+        writeln!(f, "latency:    {}", self.latency)?;
+        writeln!(
+            f,
+            "queue peak depth: {}   bus contention: {} cycles   mem peak: {} words",
+            self.queue_peak_depth, self.contention_cycles, self.alloc.peak_words_in_use
+        )?;
+        for w in &self.workers {
+            writeln!(
+                f,
+                "  {:<22} jobs {:>5}  swaps {:>3}  util {:>5.1}%  grants {:>7}  beats {:>8}  stalls {:>6}",
+                w.name,
+                w.jobs,
+                w.swaps,
+                w.utilization * 100.0,
+                w.bus_grants,
+                w.bus_beats,
+                w.contention_cycles
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let s = LatencyStats::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = LatencyStats::from_samples((1..=100).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.mean, 50);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencyStats::from_samples(vec![42]);
+        assert_eq!((s.min, s.p50, s.p99, s.max, s.mean), (42, 42, 42, 42, 42));
+    }
+}

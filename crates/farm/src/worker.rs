@@ -1,0 +1,326 @@
+//! Pool workers: one OCP each, fixed-function or DPR-reconfigurable.
+//!
+//! A worker wraps an [`Ocp`] together with its *capability table* — the
+//! job kinds it can serve. For a fixed-function worker that table has
+//! one entry; for a reconfigurable worker entry `i` is DPR
+//! configuration `i` of its [`ReconfigurableSlot`], and serving a
+//! non-loaded kind prepends an `rcfg` to the job's microcode so the
+//! bitstream swap is charged inside the job's own service time.
+//!
+//! That placement is the swap-safety argument: `rcfg` only ever
+//! executes at the *head* of a program on a worker the dispatcher just
+//! observed idle, so a swap can never touch a configuration with a job
+//! in flight.
+
+use ouessant::{Ocp, OcpConfig};
+use ouessant_isa::{Program, ProgramBuilder};
+use ouessant_rac::dft::DftRac;
+use ouessant_rac::idct::IdctRac;
+use ouessant_rac::passthrough::PassthroughRac;
+use ouessant_rac::rac::Rac;
+use ouessant_rac::slot::{ReconfigurableSlot, ICAP_BYTES_PER_CYCLE};
+use ouessant_sim::bus::Bus;
+use ouessant_soc::alloc::Region;
+
+use crate::job::{JobId, JobKind};
+use crate::queue::PendingJob;
+
+/// The microcode bank map every farm job uses.
+pub(crate) const PROG_BANK: u8 = 0;
+pub(crate) const INPUT_BANK: u8 = 1;
+pub(crate) const OUTPUT_BANK: u8 = 2;
+/// DMA burst length for payload transfers.
+const CHUNK: u16 = 64;
+
+/// The shared-memory regions leased to one in-flight job.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobRegions {
+    pub prog: Region,
+    pub input: Region,
+    pub output: Region,
+}
+
+/// Builds one job's microcode: optional `rcfg`, input transfer,
+/// execute, output transfer, `eop`.
+pub(crate) fn build_program(
+    kind: JobKind,
+    input_words: u32,
+    target_config: usize,
+    loaded_config: usize,
+) -> Program {
+    let mut b = ProgramBuilder::new();
+    if target_config != loaded_config {
+        b = b.rcfg(u16::try_from(target_config).expect("config index fits rcfg operand"));
+    }
+    b = b
+        .transfer_to_coprocessor(INPUT_BANK, 0, input_words, CHUNK, 0)
+        .expect("admission bounds payload to the offset field");
+    b = match kind {
+        // Block kernels size themselves; streaming copies are told the
+        // word count through the exec op field.
+        JobKind::Idct | JobKind::Dft { .. } => b.execs(),
+        JobKind::Copy { .. } => {
+            b.execs_op(u16::try_from(input_words).expect("admission bounds payload to u16"))
+        }
+    };
+    b = b
+        .transfer_from_coprocessor(OUTPUT_BANK, 0, kind.output_words(input_words), CHUNK, 0)
+        .expect("admission bounds payload to the offset field");
+    b.eop()
+        .finish()
+        .expect("farm programs are structurally valid")
+}
+
+/// The RAC instance serving one capability.
+fn rac_for(kind: JobKind) -> Box<dyn Rac> {
+    match kind {
+        JobKind::Idct => Box::new(IdctRac::new()),
+        JobKind::Dft { points } => Box::new(DftRac::new(points)),
+        JobKind::Copy { scale } => Box::new(PassthroughRac::scaling(scale, 0)),
+    }
+}
+
+/// Bookkeeping for the job currently on a worker.
+#[derive(Debug)]
+pub(crate) struct ActiveJob {
+    pub id: JobId,
+    pub kind: JobKind,
+    pub submitted_at: u64,
+    pub started_at: u64,
+    pub deadline: Option<u64>,
+    pub swapped: bool,
+    pub regions: JobRegions,
+    pub output_words: u32,
+    pub contention_at_start: u64,
+}
+
+/// One pool member: an OCP plus its capability table.
+#[derive(Debug)]
+pub struct Worker {
+    name: String,
+    pub(crate) ocp: Ocp,
+    caps: Vec<JobKind>,
+    /// Full bitstream-load cost per capability (0 for fixed-function).
+    swap_cycles: Vec<u64>,
+    /// Host-side mirror of the loaded configuration index. Accurate
+    /// because this worker is the only issuer of `rcfg` on its slot.
+    loaded: usize,
+    reconfigurable: bool,
+    pub(crate) active: Option<ActiveJob>,
+    jobs_served: u64,
+    swaps: u64,
+    busy_cycles: u64,
+}
+
+impl Worker {
+    /// Attaches a fixed-function worker for `kind` at `base`.
+    pub(crate) fn fixed(bus: &mut Bus, base: u32, kind: JobKind, fifo_depth: usize) -> Self {
+        let ocp = Ocp::attach(bus, base, rac_for(kind), OcpConfig { fifo_depth });
+        ocp.regs().set_irq_enabled(true);
+        Self {
+            name: format!("{kind}@{base:#010x}"),
+            ocp,
+            caps: vec![kind],
+            swap_cycles: vec![0],
+            loaded: 0,
+            reconfigurable: false,
+            active: None,
+            jobs_served: 0,
+            swaps: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Attaches a DPR worker at `base` whose slot holds one
+    /// configuration per `(kind, bitstream_bytes)` pair; configuration
+    /// 0 is loaded initially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty or repeats a kind (the capability
+    /// table must be unambiguous).
+    pub(crate) fn reconfigurable(
+        bus: &mut Bus,
+        base: u32,
+        configs: &[(JobKind, u64)],
+        fifo_depth: usize,
+    ) -> Self {
+        assert!(
+            !configs.is_empty(),
+            "a DPR worker needs at least one configuration"
+        );
+        let mut slot = ReconfigurableSlot::new();
+        let mut caps = Vec::with_capacity(configs.len());
+        let mut swap_cycles = Vec::with_capacity(configs.len());
+        for &(kind, bytes) in configs {
+            assert!(
+                !caps.contains(&kind),
+                "duplicate DPR configuration for {kind}"
+            );
+            slot = slot.with_config(rac_for(kind), bytes);
+            caps.push(kind);
+            swap_cycles.push(bytes / ICAP_BYTES_PER_CYCLE);
+        }
+        let ocp = Ocp::attach(bus, base, Box::new(slot), OcpConfig { fifo_depth });
+        ocp.regs().set_irq_enabled(true);
+        Self {
+            name: format!("dpr@{base:#010x}"),
+            ocp,
+            caps,
+            swap_cycles,
+            loaded: 0,
+            reconfigurable: true,
+            active: None,
+            jobs_served: 0,
+            swaps: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// The worker's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kinds this worker can serve (index = DPR configuration).
+    #[must_use]
+    pub fn caps(&self) -> &[JobKind] {
+        &self.caps
+    }
+
+    /// Whether the worker carries a reconfigurable slot.
+    #[must_use]
+    pub fn is_reconfigurable(&self) -> bool {
+        self.reconfigurable
+    }
+
+    /// Whether the worker can accept a job this cycle.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.active.is_none()
+    }
+
+    /// Jobs completed on this worker.
+    #[must_use]
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs_served
+    }
+
+    /// Bitstream swaps this worker has paid for.
+    #[must_use]
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Cycles this worker spent with a job on it.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// The current `rcfg` cost to capability `i` (0 when loaded).
+    #[must_use]
+    pub(crate) fn swap_cost_now(&self, i: usize) -> u64 {
+        if i == self.loaded {
+            0
+        } else {
+            self.swap_cycles[i]
+        }
+    }
+
+    /// Snapshot of the per-capability swap costs for the policy view.
+    #[must_use]
+    pub(crate) fn swap_costs_view(&self) -> Vec<u64> {
+        (0..self.caps.len())
+            .map(|i| self.swap_cost_now(i))
+            .collect()
+    }
+
+    /// The loaded capability index.
+    #[must_use]
+    pub fn loaded_config(&self) -> usize {
+        self.loaded
+    }
+
+    /// Places `job` on this (idle) worker: writes microcode and payload
+    /// into the leased regions, programs the bank registers and pulls
+    /// the start bit. The job's first cycle is the *next* `tick`.
+    ///
+    /// `program` is the microcode the farm built with [`build_program`]
+    /// for this worker's current `loaded_config` (the farm sizes the
+    /// program region from it, so it is built exactly once).
+    pub(crate) fn launch(
+        &mut self,
+        bus: &mut Bus,
+        now: u64,
+        job: PendingJob,
+        program: &Program,
+        target: usize,
+        regions: JobRegions,
+    ) {
+        debug_assert!(self.active.is_none(), "launch on a busy worker");
+        debug_assert_eq!(self.caps[target], job.kind, "dispatcher matched capability");
+        let swapped = target != self.loaded;
+        if swapped {
+            self.loaded = target;
+            self.swaps += 1;
+        }
+
+        // Host setup: microcode and payload land in shared memory via
+        // untimed debug writes — the timed cost of the host's own bus
+        // traffic is the OS/driver model's concern (ouessant-soc), not
+        // the pool's.
+        for (i, w) in program.to_words().iter().enumerate() {
+            bus.debug_write(regions.prog.base() + (i as u32) * 4, *w)
+                .expect("program region is mapped SRAM");
+        }
+        for (i, w) in job.input.iter().enumerate() {
+            bus.debug_write(regions.input.base() + (i as u32) * 4, *w)
+                .expect("input region is mapped SRAM");
+        }
+        let regs = self.ocp.regs();
+        regs.set_bank(PROG_BANK, regions.prog.base())
+            .expect("allocator regions are word-aligned");
+        regs.set_bank(INPUT_BANK, regions.input.base())
+            .expect("allocator regions are word-aligned");
+        regs.set_bank(OUTPUT_BANK, regions.output.base())
+            .expect("allocator regions are word-aligned");
+        regs.set_prog_size(program.len() as u32)
+            .expect("program length is validated");
+        regs.start();
+
+        self.active = Some(ActiveJob {
+            id: job.id,
+            kind: job.kind,
+            submitted_at: job.submitted_at,
+            started_at: now,
+            deadline: job.deadline,
+            swapped,
+            regions,
+            output_words: job.kind.output_words(job.input_words),
+            contention_at_start: bus.master_stats(self.ocp.bus_master()).contention_cycles,
+        });
+    }
+
+    /// Advances the worker one cycle.
+    pub(crate) fn tick(&mut self, bus: &mut Bus) {
+        self.ocp.tick(bus);
+        if self.active.is_some() {
+            self.busy_cycles += 1;
+        }
+    }
+
+    /// Completion accounting hook for the farm's poll loop.
+    pub(crate) fn note_completion(&mut self) -> Option<ActiveJob> {
+        let done = self.active.take()?;
+        self.jobs_served += 1;
+        Some(done)
+    }
+
+    /// The controller fault, if the worker has died.
+    #[must_use]
+    pub fn fault(&self) -> Option<String> {
+        self.ocp.fault().map(|e| e.to_string())
+    }
+}

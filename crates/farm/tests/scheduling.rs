@@ -1,0 +1,282 @@
+//! Pool-level scheduling tests: backpressure, fairness, swap safety,
+//! and the DPR-affinity throughput win the farm exists to provide.
+
+use std::collections::HashMap;
+
+use ouessant_farm::{
+    DprAffinityPolicy, Farm, FarmConfig, FifoPolicy, JobId, JobKind, JobSpec, RoundRobinPolicy,
+    SubmitError,
+};
+use ouessant_sim::XorShift64;
+
+const IDCT: JobKind = JobKind::Idct;
+const DFT64: JobKind = JobKind::Dft { points: 64 };
+const COPY3: JobKind = JobKind::Copy { scale: 3 };
+
+/// A deterministic payload for `kind` (JPEG-range words keep the IDCT
+/// and DFT fixed-point paths well inside their dynamic range).
+fn payload(kind: JobKind, rng: &mut XorShift64) -> Vec<u32> {
+    let words = kind.required_input_words().unwrap_or(48);
+    (0..words)
+        .map(|_| (rng.gen_range_i32(-1024..1024)) as u32)
+        .collect()
+}
+
+/// The swap-heavy workload of the affinity experiment: `pairs`
+/// alternating IDCT/copy jobs, worst case for a naive scheduler on a
+/// single DPR slot.
+fn alternating_mix(pairs: usize, seed: u64) -> Vec<JobSpec> {
+    let mut rng = XorShift64::new(seed);
+    let mut specs = Vec::new();
+    for _ in 0..pairs {
+        specs.push(JobSpec::new(IDCT, payload(IDCT, &mut rng)));
+        specs.push(JobSpec::new(COPY3, payload(COPY3, &mut rng)));
+    }
+    specs
+}
+
+/// One DPR worker holding IDCT + scaling-copy configurations with a
+/// 40 KiB bitstream each (10k-cycle swap at the ICAP rate).
+fn single_dpr_farm(policy_fifo: bool) -> Farm {
+    let policy: Box<dyn ouessant_farm::SchedPolicy> = if policy_fifo {
+        Box::new(FifoPolicy::new())
+    } else {
+        Box::new(DprAffinityPolicy::new())
+    };
+    let mut farm = Farm::new(FarmConfig::default(), policy);
+    farm.add_dpr_worker(&[(IDCT, 40_000), (COPY3, 40_000)]);
+    farm
+}
+
+#[test]
+fn backpressure_returns_queue_full() {
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 4,
+            ..FarmConfig::default()
+        },
+        Box::new(FifoPolicy::new()),
+    );
+    farm.add_worker(IDCT);
+    for _ in 0..4 {
+        farm.submit(JobSpec::new(IDCT, vec![0; 64])).unwrap();
+    }
+    assert_eq!(
+        farm.submit(JobSpec::new(IDCT, vec![0; 64])),
+        Err(SubmitError::QueueFull { capacity: 4 }),
+        "a full queue must push back, not drop or grow"
+    );
+    // Draining the pool re-opens admission.
+    farm.run_until_idle(1_000_000).unwrap();
+    farm.submit(JobSpec::new(IDCT, vec![0; 64])).unwrap();
+    farm.run_until_idle(1_000_000).unwrap();
+    assert_eq!(farm.records().len(), 5);
+}
+
+#[test]
+fn admission_rejects_unserviceable_and_malformed_jobs() {
+    let mut farm = Farm::new(FarmConfig::default(), Box::new(FifoPolicy::new()));
+    farm.add_worker(IDCT);
+    assert!(matches!(
+        farm.submit(JobSpec::new(DFT64, vec![0; 128])),
+        Err(SubmitError::NoCapableWorker { .. })
+    ));
+    assert!(matches!(
+        farm.submit(JobSpec::new(IDCT, vec![0; 63])),
+        Err(SubmitError::BadPayload { .. })
+    ));
+    assert_eq!(farm.report().rejected_invalid, 2);
+}
+
+#[test]
+fn fifo_never_starves_under_sustained_overload() {
+    // Offered load far above capacity: one IDCT worker, a 8-deep
+    // queue, and a client that resubmits on every QueueFull. Every
+    // admitted job must complete, in admission order.
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 8,
+            ..FarmConfig::default()
+        },
+        Box::new(FifoPolicy::new()),
+    );
+    farm.add_worker(IDCT);
+    let mut rng = XorShift64::new(7);
+    let mut admitted: Vec<JobId> = Vec::new();
+    let mut rejections = 0u64;
+    let mut to_offer = 120u32;
+    while to_offer > 0 {
+        match farm.submit(JobSpec::new(IDCT, payload(IDCT, &mut rng))) {
+            Ok(id) => {
+                admitted.push(id);
+                to_offer -= 1;
+            }
+            Err(SubmitError::QueueFull { .. }) => rejections += 1,
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+        // Sustained pressure: barely any breathing room between offers.
+        for _ in 0..20 {
+            farm.tick();
+        }
+    }
+    farm.run_until_idle(10_000_000).unwrap();
+    assert!(
+        rejections > 0,
+        "overload must actually trigger backpressure"
+    );
+    let completed: Vec<JobId> = farm.records().iter().map(|r| r.id).collect();
+    assert_eq!(
+        completed, admitted,
+        "FIFO serves in admission order, nobody starves"
+    );
+    let report = farm.report();
+    assert_eq!(report.jobs_completed, 120);
+    assert!(
+        report.queue_wait.max < 500_000,
+        "bounded queue keeps waits bounded (saw {})",
+        report.queue_wait.max
+    );
+}
+
+#[test]
+fn swaps_never_corrupt_in_flight_jobs() {
+    // The worst swap churn we can produce: strict alternation on one
+    // DPR slot under FIFO, so *every* job carries an rcfg. Every output
+    // must still be bit-exact against the host golden model.
+    let mut farm = single_dpr_farm(true);
+    let mut golden: HashMap<JobId, Vec<u32>> = HashMap::new();
+    for spec in alternating_mix(10, 0xD1CE) {
+        let expect = spec.kind.expected_output(&spec.input);
+        let id = farm.submit(spec).unwrap();
+        golden.insert(id, expect);
+    }
+    farm.run_until_idle(50_000_000).unwrap();
+    let report = farm.report();
+    assert_eq!(report.jobs_completed, 20);
+    assert!(
+        report.swaps >= 19,
+        "alternation under FIFO must swap nearly every job (saw {})",
+        report.swaps
+    );
+    for record in farm.records() {
+        assert_eq!(
+            &record.output,
+            golden.get(&record.id).unwrap(),
+            "{} corrupted across a bitstream swap",
+            record.id
+        );
+    }
+}
+
+#[test]
+fn dpr_affinity_outperforms_fifo_on_swap_heavy_mix() {
+    // The acceptance experiment: identical swap-heavy workload, same
+    // single-DPR pool, only the policy differs. Affinity batches the
+    // mix into one run per kind and pays ~2 swaps instead of ~40.
+    let mix = alternating_mix(20, 0xBEEF);
+
+    let mut fifo = single_dpr_farm(true);
+    for spec in mix.clone() {
+        fifo.submit(spec).unwrap();
+    }
+    fifo.run_until_idle(100_000_000).unwrap();
+    let fifo_report = fifo.report();
+
+    let mut affinity = single_dpr_farm(false);
+    for spec in mix {
+        affinity.submit(spec).unwrap();
+    }
+    affinity.run_until_idle(100_000_000).unwrap();
+    let affinity_report = affinity.report();
+
+    assert_eq!(fifo_report.jobs_completed, 40);
+    assert_eq!(affinity_report.jobs_completed, 40);
+    assert!(
+        affinity_report.swaps < fifo_report.swaps / 4,
+        "affinity must amortize swaps ({} vs {})",
+        affinity_report.swaps,
+        fifo_report.swaps
+    );
+    assert!(
+        affinity_report.throughput_jobs_per_mcycle > 1.5 * fifo_report.throughput_jobs_per_mcycle,
+        "affinity throughput {:.2} jobs/Mcycle not measurably above FIFO {:.2}",
+        affinity_report.throughput_jobs_per_mcycle,
+        fifo_report.throughput_jobs_per_mcycle
+    );
+}
+
+#[test]
+fn affinity_patience_bounds_cross_kind_waiting() {
+    // A continuous IDCT stream plus one early copy job: affinity with a
+    // small patience must still serve the copy job promptly instead of
+    // starving it behind the batch.
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 128,
+            ..FarmConfig::default()
+        },
+        Box::new(DprAffinityPolicy::with_patience(20_000)),
+    );
+    farm.add_dpr_worker(&[(IDCT, 40_000), (COPY3, 40_000)]);
+    let mut rng = XorShift64::new(11);
+    let copy_id = farm
+        .submit(JobSpec::new(COPY3, payload(COPY3, &mut rng)))
+        .unwrap();
+    for _ in 0..40 {
+        farm.submit(JobSpec::new(IDCT, payload(IDCT, &mut rng)))
+            .unwrap();
+    }
+    farm.run_until_idle(50_000_000).unwrap();
+    let copy = farm
+        .records()
+        .iter()
+        .find(|r| r.id == copy_id)
+        .expect("copy job completed");
+    assert!(
+        copy.queue_wait() < 100_000,
+        "patience failed to bound the copy job's wait ({})",
+        copy.queue_wait()
+    );
+}
+
+#[test]
+fn heterogeneous_pool_serves_mixed_load_bit_exactly() {
+    // The tentpole end-to-end shape: three workers (fixed IDCT, fixed
+    // DFT, one DPR slot) on one shared bus, round-robin placement,
+    // every output checked against the golden model, and the shared bus
+    // actually observed under contention.
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 128,
+            ..FarmConfig::default()
+        },
+        Box::new(RoundRobinPolicy::new()),
+    );
+    farm.add_worker(IDCT);
+    farm.add_worker(DFT64);
+    farm.add_dpr_worker(&[(IDCT, 40_000), (DFT64, 60_000)]);
+
+    let mut rng = XorShift64::new(42);
+    let mut golden: HashMap<JobId, Vec<u32>> = HashMap::new();
+    for i in 0..60u32 {
+        let kind = if i % 2 == 0 { IDCT } else { DFT64 };
+        let spec = JobSpec::new(kind, payload(kind, &mut rng));
+        let expect = spec.kind.expected_output(&spec.input);
+        let id = farm.submit(spec).unwrap();
+        golden.insert(id, expect);
+    }
+    farm.run_until_idle(50_000_000).unwrap();
+
+    let report = farm.report();
+    assert_eq!(report.jobs_completed, 60);
+    for record in farm.records() {
+        assert_eq!(&record.output, golden.get(&record.id).unwrap());
+    }
+    let busy_workers = report.workers.iter().filter(|w| w.jobs > 0).count();
+    assert_eq!(busy_workers, 3, "round-robin spreads work over the pool");
+    assert!(
+        report.contention_cycles > 0,
+        "three DMA masters on one bus must contend at least once"
+    );
+    assert_eq!(report.alloc.words_in_use, 0, "all job regions returned");
+}

@@ -187,8 +187,7 @@ pub fn assemble(source: &str) -> Result<Program, AssembleError> {
         instructions.push(insn);
     }
 
-    Program::new(instructions)
-        .map_err(|e| AssembleError::new(0, AssembleErrorKind::Validate(e)))
+    Program::new(instructions).map_err(|e| AssembleError::new(0, AssembleErrorKind::Validate(e)))
 }
 
 fn parse_statement(
@@ -198,7 +197,10 @@ fn parse_statement(
     labels: &HashMap<String, usize>,
 ) -> Result<Instruction, AssembleError> {
     let opcode = Opcode::from_mnemonic(mnemonic).ok_or_else(|| {
-        AssembleError::new(line, AssembleErrorKind::UnknownMnemonic(mnemonic.to_string()))
+        AssembleError::new(
+            line,
+            AssembleErrorKind::UnknownMnemonic(mnemonic.to_string()),
+        )
     })?;
 
     let count = |expected: usize| -> Result<(), AssembleError> {
@@ -563,20 +565,29 @@ mod tests {
     #[test]
     fn bank_out_of_range_rejected() {
         let err = assemble("mvtc BANK9,0,DMA64,FIFO0\neop").unwrap_err();
-        assert!(matches!(err.kind(), AssembleErrorKind::BadOperand { position: 1, .. }));
+        assert!(matches!(
+            err.kind(),
+            AssembleErrorKind::BadOperand { position: 1, .. }
+        ));
     }
 
     #[test]
     fn offset_out_of_range_rejected() {
         let src = format!("mvtc BANK1,{},DMA64,FIFO0\neop", MAX_OFFSET + 1);
         let err = assemble(&src).unwrap_err();
-        assert!(matches!(err.kind(), AssembleErrorKind::BadOperand { position: 2, .. }));
+        assert!(matches!(
+            err.kind(),
+            AssembleErrorKind::BadOperand { position: 2, .. }
+        ));
     }
 
     #[test]
     fn burst_zero_rejected() {
         let err = assemble("mvtc BANK1,0,DMA0,FIFO0\neop").unwrap_err();
-        assert!(matches!(err.kind(), AssembleErrorKind::BadOperand { position: 3, .. }));
+        assert!(matches!(
+            err.kind(),
+            AssembleErrorKind::BadOperand { position: 3, .. }
+        ));
     }
 
     #[test]

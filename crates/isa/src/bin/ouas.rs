@@ -35,7 +35,10 @@ fn parse_hex_file(text: &str) -> Result<Vec<u32>, String> {
         if line.is_empty() {
             continue;
         }
-        let hex = line.strip_prefix("0x").or_else(|| line.strip_prefix("0X")).unwrap_or(line);
+        let hex = line
+            .strip_prefix("0x")
+            .or_else(|| line.strip_prefix("0X"))
+            .unwrap_or(line);
         let word = u32::from_str_radix(hex, 16)
             .map_err(|_| format!("line {}: `{line}` is not a hex word", i + 1))?;
         words.push(word);

@@ -28,9 +28,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::opcode::{Opcode, OPCODE_SHIFT};
-use crate::operands::{
-    Bank, BurstLen, Counter, FifoId, Offset, OffsetReg, OperandError, ProgAddr,
-};
+use crate::operands::{Bank, BurstLen, Counter, FifoId, Offset, OffsetReg, OperandError, ProgAddr};
 
 /// A fully decoded Ouessant instruction.
 ///
@@ -430,7 +428,9 @@ impl Instruction {
                 }
             }
             Opcode::Mvtcr => {
-                non_canonical((0x7 << BANK_SHIFT) | (0x3 << OREG_SHIFT) | (0x3 << FIFO_SHIFT) | 0xFF)?;
+                non_canonical(
+                    (0x7 << BANK_SHIFT) | (0x3 << OREG_SHIFT) | (0x3 << FIFO_SHIFT) | 0xFF,
+                )?;
                 Instruction::Mvtcr {
                     bank: bank()?,
                     reg: oreg()?,
@@ -439,7 +439,9 @@ impl Instruction {
                 }
             }
             Opcode::Mvfcr => {
-                non_canonical((0x7 << BANK_SHIFT) | (0x3 << OREG_SHIFT) | (0x3 << FIFO_SHIFT) | 0xFF)?;
+                non_canonical(
+                    (0x7 << BANK_SHIFT) | (0x3 << OREG_SHIFT) | (0x3 << FIFO_SHIFT) | 0xFF,
+                )?;
                 Instruction::Mvfcr {
                     bank: bank()?,
                     reg: oreg()?,

@@ -225,7 +225,11 @@ impl BurstLen {
     /// Returns [`OperandError`] unless `1 <= words <= 256`.
     pub fn new(words: u16) -> Result<Self, OperandError> {
         if words == 0 || u32::from(words) > MAX_BURST {
-            Err(OperandError::new("burst length", u32::from(words), MAX_BURST))
+            Err(OperandError::new(
+                "burst length",
+                u32::from(words),
+                MAX_BURST,
+            ))
         } else {
             Ok(Self(words))
         }

@@ -181,7 +181,11 @@ pub fn rollup_loops(program: &Program) -> Result<(Program, OptStats), ValidateEr
                 } => (false, bank, offset, burst, fifo),
                 _ => unreachable!("run_length only reports transfer runs"),
             };
-            let (oreg, creg) = if to_coprocessor { (0u8, 0u8) } else { (1u8, 1u8) };
+            let (oreg, creg) = if to_coprocessor {
+                (0u8, 0u8)
+            } else {
+                (1u8, 1u8)
+            };
             out.push(Instruction::Ldo {
                 reg: OffsetReg::new(oreg).expect("register id valid"),
                 imm: offset.value(),
@@ -252,13 +256,25 @@ fn run_length(insns: &[Instruction]) -> usize {
                 offset: o,
                 burst: l,
                 fifo: f,
-            } => to_coprocessor && b == bank && f == fifo && l == burst && u32::from(o.value()) == next,
+            } => {
+                to_coprocessor
+                    && b == bank
+                    && f == fifo
+                    && l == burst
+                    && u32::from(o.value()) == next
+            }
             Instruction::Mvfc {
                 bank: b,
                 offset: o,
                 burst: l,
                 fifo: f,
-            } => !to_coprocessor && b == bank && f == fifo && l == burst && u32::from(o.value()) == next,
+            } => {
+                !to_coprocessor
+                    && b == bank
+                    && f == fifo
+                    && l == burst
+                    && u32::from(o.value()) == next
+            }
             _ => false,
         };
         if !matches {
@@ -405,8 +421,7 @@ mod tests {
 
     #[test]
     fn programs_with_branches_left_untouched() {
-        let p = assemble("ldc R0,4\nloop:\nmvtcr BANK1,O0,DMA64,FIFO0\ndjnz R0,loop\neop")
-            .unwrap();
+        let p = assemble("ldc R0,4\nloop:\nmvtcr BANK1,O0,DMA64,FIFO0\ndjnz R0,loop\neop").unwrap();
         let (c, s1) = coalesce_transfers(&p).unwrap();
         let (r, s2) = rollup_loops(&p).unwrap();
         assert_eq!(c, p);

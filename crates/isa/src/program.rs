@@ -153,7 +153,8 @@ impl Program {
             .iter()
             .enumerate()
             .map(|(i, &w)| {
-                Instruction::decode(w).map_err(|e| ProgramFromWordsError::Decode { at: i, source: e })
+                Instruction::decode(w)
+                    .map_err(|e| ProgramFromWordsError::Decode { at: i, source: e })
             })
             .collect::<Result<Vec<_>, _>>()?;
         Self::new(instructions).map_err(ProgramFromWordsError::Validate)
@@ -178,13 +179,11 @@ impl Program {
                 Instruction::Ldc { counter, imm } => {
                     counter_values[counter.index()] = u64::from(imm);
                 }
-                Instruction::Djnz { counter, target } => {
+                Instruction::Djnz { counter, target } if counter_values[counter.index()] > 0 => {
+                    counter_values[counter.index()] -= 1;
                     if counter_values[counter.index()] > 0 {
-                        counter_values[counter.index()] -= 1;
-                        if counter_values[counter.index()] > 0 {
-                            i = usize::from(target.value());
-                            continue;
-                        }
+                        i = usize::from(target.value());
+                        continue;
                     }
                 }
                 Instruction::Eop | Instruction::Halt => {

@@ -26,7 +26,11 @@ fn asm_to_stdout() {
     let src = temp_path("a.s");
     fs::write(&src, SOURCE).unwrap();
     let out = ouas().arg("asm").arg(&src).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert_eq!(text.lines().count(), 4);
     assert!(text.lines().all(|l| l.starts_with("0x")));
@@ -38,7 +42,13 @@ fn asm_dis_round_trip() {
     let src = temp_path("b.s");
     let hex = temp_path("b.hex");
     fs::write(&src, SOURCE).unwrap();
-    let out = ouas().args(["asm"]).arg(&src).arg("-o").arg(&hex).output().unwrap();
+    let out = ouas()
+        .args(["asm"])
+        .arg(&src)
+        .arg("-o")
+        .arg(&hex)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let out = ouas().arg("dis").arg(&hex).output().unwrap();
     assert!(out.status.success());
@@ -104,7 +114,10 @@ fn usage_on_no_arguments() {
 
 #[test]
 fn missing_file_reported() {
-    let out = ouas().args(["asm", "/nonexistent/path.s"]).output().unwrap();
+    let out = ouas()
+        .args(["asm", "/nonexistent/path.s"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

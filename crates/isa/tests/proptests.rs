@@ -1,95 +1,115 @@
-//! Property tests for the Ouessant ISA: encoding, assembly and program
-//! invariants hold for *arbitrary* operand values, not just the paper's
-//! examples.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the Ouessant ISA: encoding, assembly
+//! and program invariants hold for *arbitrary* operand values, not just
+//! the paper's examples.
+//!
+//! These used to be `proptest` properties; the workspace now builds
+//! offline, so the same invariants are exercised with the in-repo
+//! [`XorShift64`] generator over fixed seeds (deterministic, no
+//! shrinking, but the domains are identical).
 
 use ouessant_isa::{
     assemble, disassemble, Bank, BurstLen, Counter, FifoId, Instruction, Offset, OffsetReg,
     ProgAddr, Program, ProgramBuilder,
 };
+use ouessant_sim::rng::XorShift64;
 
-fn arb_instruction(max_target: u16) -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        Just(Instruction::Nop),
-        (0u8..8, 0u16..16384, 1u16..=256, 0u8..4).prop_map(|(b, o, l, f)| Instruction::Mvtc {
-            bank: Bank::new(b).unwrap(),
-            offset: Offset::new(o).unwrap(),
-            burst: BurstLen::new(l).unwrap(),
-            fifo: FifoId::new(f).unwrap(),
-        }),
-        (0u8..8, 0u16..16384, 1u16..=256, 0u8..4).prop_map(|(b, o, l, f)| Instruction::Mvfc {
-            bank: Bank::new(b).unwrap(),
-            offset: Offset::new(o).unwrap(),
-            burst: BurstLen::new(l).unwrap(),
-            fifo: FifoId::new(f).unwrap(),
-        }),
-        any::<u16>().prop_map(|op| Instruction::Exec { op }),
-        any::<u16>().prop_map(|op| Instruction::Execn { op }),
-        Just(Instruction::Wrac),
-        (0u8..4, 0u16..16384).prop_map(|(c, imm)| Instruction::Ldc {
-            counter: Counter::new(c).unwrap(),
-            imm,
-        }),
-        (0u8..4, 0..max_target).prop_map(|(c, t)| Instruction::Djnz {
-            counter: Counter::new(c).unwrap(),
-            target: ProgAddr::new(t).unwrap(),
-        }),
-        (0u8..4, 0u16..16384).prop_map(|(r, imm)| Instruction::Ldo {
-            reg: OffsetReg::new(r).unwrap(),
-            imm,
-        }),
-        (0u8..4, -8192i16..=8191).prop_map(|(r, d)| Instruction::Addo {
-            reg: OffsetReg::new(r).unwrap(),
-            delta: d,
-        }),
-        (0u8..8, 0u8..4, 1u16..=256, 0u8..4).prop_map(|(b, r, l, f)| Instruction::Mvtcr {
-            bank: Bank::new(b).unwrap(),
-            reg: OffsetReg::new(r).unwrap(),
-            burst: BurstLen::new(l).unwrap(),
-            fifo: FifoId::new(f).unwrap(),
-        }),
-        (0u8..8, 0u8..4, 1u16..=256, 0u8..4).prop_map(|(b, r, l, f)| Instruction::Mvfcr {
-            bank: Bank::new(b).unwrap(),
-            reg: OffsetReg::new(r).unwrap(),
-            burst: BurstLen::new(l).unwrap(),
-            fifo: FifoId::new(f).unwrap(),
-        }),
-        (0u16..16384).prop_map(|cycles| Instruction::Wait { cycles }),
-        Just(Instruction::Sync),
-        (0u16..16384).prop_map(|slot| Instruction::Rcfg { slot }),
-    ]
+/// Draws one instruction uniformly across the full operand domains
+/// (the same strategy space the proptest version generated).
+fn arb_instruction(rng: &mut XorShift64, max_target: u16) -> Instruction {
+    match rng.gen_range_u32(0..15) {
+        0 => Instruction::Nop,
+        1 => Instruction::Mvtc {
+            bank: Bank::new(rng.gen_range_u32(0..8) as u8).unwrap(),
+            offset: Offset::new(rng.gen_range_u32(0..16384) as u16).unwrap(),
+            burst: BurstLen::new(rng.gen_range_u32(1..257) as u16).unwrap(),
+            fifo: FifoId::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+        },
+        2 => Instruction::Mvfc {
+            bank: Bank::new(rng.gen_range_u32(0..8) as u8).unwrap(),
+            offset: Offset::new(rng.gen_range_u32(0..16384) as u16).unwrap(),
+            burst: BurstLen::new(rng.gen_range_u32(1..257) as u16).unwrap(),
+            fifo: FifoId::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+        },
+        3 => Instruction::Exec {
+            op: rng.next_u32() as u16,
+        },
+        4 => Instruction::Execn {
+            op: rng.next_u32() as u16,
+        },
+        5 => Instruction::Wrac,
+        6 => Instruction::Ldc {
+            counter: Counter::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+            imm: rng.gen_range_u32(0..16384) as u16,
+        },
+        7 => Instruction::Djnz {
+            counter: Counter::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+            target: ProgAddr::new(rng.gen_range_u32(0..u32::from(max_target)) as u16).unwrap(),
+        },
+        8 => Instruction::Ldo {
+            reg: OffsetReg::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+            imm: rng.gen_range_u32(0..16384) as u16,
+        },
+        9 => Instruction::Addo {
+            reg: OffsetReg::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+            delta: rng.gen_range_i32(-8192..8192) as i16,
+        },
+        10 => Instruction::Mvtcr {
+            bank: Bank::new(rng.gen_range_u32(0..8) as u8).unwrap(),
+            reg: OffsetReg::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+            burst: BurstLen::new(rng.gen_range_u32(1..257) as u16).unwrap(),
+            fifo: FifoId::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+        },
+        11 => Instruction::Mvfcr {
+            bank: Bank::new(rng.gen_range_u32(0..8) as u8).unwrap(),
+            reg: OffsetReg::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+            burst: BurstLen::new(rng.gen_range_u32(1..257) as u16).unwrap(),
+            fifo: FifoId::new(rng.gen_range_u32(0..4) as u8).unwrap(),
+        },
+        12 => Instruction::Wait {
+            cycles: rng.gen_range_u32(0..16384) as u16,
+        },
+        13 => Instruction::Sync,
+        _ => Instruction::Rcfg {
+            slot: rng.gen_range_u32(0..16384) as u16,
+        },
+    }
 }
 
-proptest! {
-    /// decode(encode(i)) == i for every representable instruction.
-    #[test]
-    fn encode_decode_identity(insn in arb_instruction(1024)) {
+/// decode(encode(i)) == i for every representable instruction.
+#[test]
+fn encode_decode_identity() {
+    let mut rng = XorShift64::new(0x15A_0001);
+    for _ in 0..2000 {
+        let insn = arb_instruction(&mut rng, 1024);
         let word = insn.encode();
-        prop_assert_eq!(Instruction::decode(word).unwrap(), insn);
+        assert_eq!(Instruction::decode(word).unwrap(), insn, "{insn:?}");
     }
+}
 
-    /// Every word that decodes re-encodes to the identical word
-    /// (canonical encoding: decode is injective on its domain).
-    #[test]
-    fn decode_encode_identity(word in any::<u32>()) {
+/// Every word that decodes re-encodes to the identical word (canonical
+/// encoding: decode is injective on its domain).
+#[test]
+fn decode_encode_identity() {
+    let mut rng = XorShift64::new(0x15A_0002);
+    for _ in 0..20_000 {
+        let word = rng.next_u32();
         if let Ok(insn) = Instruction::decode(word) {
-            prop_assert_eq!(insn.encode(), word);
+            assert_eq!(insn.encode(), word, "{insn:?}");
         }
     }
+}
 
-    /// Assembler and disassembler are mutual inverses over random
-    /// programs.
-    #[test]
-    fn disassemble_assemble_round_trip(
-        body in prop::collection::vec(arb_instruction(1), 0..40)
-    ) {
-        // Give djnz targets a valid range by re-targeting them into the
-        // final program, then terminate.
-        let len = body.len() as u16 + 1;
-        let body: Vec<Instruction> = body
-            .into_iter()
-            .map(|i| match i {
+/// Assembler and disassembler are mutual inverses over random programs.
+#[test]
+fn disassemble_assemble_round_trip() {
+    let mut rng = XorShift64::new(0x15A_0003);
+    for _ in 0..256 {
+        let body_len = rng.gen_range_u32(0..40) as usize;
+        let len = body_len as u16 + 1;
+        let mut instructions: Vec<Instruction> = (0..body_len)
+            .map(|_| match arb_instruction(&mut rng, 1) {
+                // Give djnz targets a valid range by re-targeting them
+                // into the final program.
                 Instruction::Djnz { counter, target } => Instruction::Djnz {
                     counter,
                     target: ProgAddr::new(target.value() % len).unwrap(),
@@ -97,58 +117,76 @@ proptest! {
                 other => other,
             })
             .collect();
-        let mut instructions = body;
         instructions.push(Instruction::Eop);
         let program = Program::new(instructions).unwrap();
         let text = disassemble(&program);
         let back = assemble(&text).unwrap();
-        prop_assert_eq!(back, program);
+        assert_eq!(back, program);
     }
+}
 
-    /// Program encoding to memory words and back is the identity.
-    #[test]
-    fn program_words_round_trip(
-        body in prop::collection::vec(arb_instruction(1), 0..60)
-    ) {
-        let mut instructions: Vec<Instruction> = body
-            .into_iter()
+/// Program encoding to memory words and back is the identity.
+#[test]
+fn program_words_round_trip() {
+    let mut rng = XorShift64::new(0x15A_0004);
+    for _ in 0..256 {
+        let body_len = rng.gen_range_u32(0..60) as usize;
+        let mut instructions: Vec<Instruction> = (0..body_len)
+            .map(|_| arb_instruction(&mut rng, 1))
             .filter(|i| !matches!(i, Instruction::Djnz { .. }))
             .collect();
         instructions.push(Instruction::Eop);
         let program = Program::new(instructions).unwrap();
-        prop_assert_eq!(Program::from_words(&program.to_words()).unwrap(), program);
+        assert_eq!(Program::from_words(&program.to_words()).unwrap(), program);
     }
+}
 
-    /// The builder's chunked transfer generators move exactly the
-    /// requested number of words, regardless of chunk size.
-    #[test]
-    fn chunked_transfer_is_exact(total in 1u32..960, chunk in 1u16..=256) {
+/// The builder's chunked transfer generators move exactly the requested
+/// number of words, regardless of chunk size.
+#[test]
+fn chunked_transfer_is_exact() {
+    let mut rng = XorShift64::new(0x15A_0005);
+    for _ in 0..500 {
+        let total = rng.gen_range_u32(1..960);
+        let chunk = rng.gen_range_u32(1..257) as u16;
         let p = ProgramBuilder::new()
-            .transfer_to_coprocessor(1, 0, total, chunk, 0).unwrap()
+            .transfer_to_coprocessor(1, 0, total, chunk, 0)
+            .unwrap()
             .eop()
             .finish()
             .unwrap();
-        prop_assert_eq!(p.static_words_transferred(), u64::from(total));
+        assert_eq!(
+            p.static_words_transferred(),
+            u64::from(total),
+            "total={total} chunk={chunk}"
+        );
     }
+}
 
-    /// Unrolled (Figure 4 style) and looped (extension ISA) transfer
-    /// programs declare the same total word count.
-    #[test]
-    fn unrolled_and_looped_agree(chunks in 1u16..64) {
+/// Unrolled (Figure 4 style) and looped (extension ISA) transfer
+/// programs declare the same total word count.
+#[test]
+fn unrolled_and_looped_agree() {
+    for chunks in 1u16..64 {
         let unrolled = ProgramBuilder::new()
-            .transfer_to_coprocessor(1, 0, u32::from(chunks) * 64, 64, 0).unwrap()
+            .transfer_to_coprocessor(1, 0, u32::from(chunks) * 64, 64, 0)
+            .unwrap()
             .eop()
             .finish()
             .unwrap();
         let looped = ProgramBuilder::new()
-            .ldc(0, chunks).unwrap()
-            .ldo(0, 0).unwrap()
-            .mvtcr(1, 0, 64, 0).unwrap()
-            .djnz(0, 2).unwrap()
+            .ldc(0, chunks)
+            .unwrap()
+            .ldo(0, 0)
+            .unwrap()
+            .mvtcr(1, 0, 64, 0)
+            .unwrap()
+            .djnz(0, 2)
+            .unwrap()
             .eop()
             .finish()
             .unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             unrolled.static_words_transferred(),
             looped.static_words_transferred()
         );

@@ -106,7 +106,7 @@ pub fn dft_fixed(input: &[(i32, i32)]) -> Vec<(i32, i32)> {
     // Bit-reversal permutation.
     let mut data: Vec<(i32, i32)> = vec![(0, 0); n];
     for (i, &x) in input.iter().enumerate() {
-        let j = (i.reverse_bits() >> (usize::BITS - stages)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - stages);
         data[j] = x;
     }
 

@@ -150,7 +150,10 @@ impl BlockKernel for IdctKernel {
 
     fn compute(&mut self, _op: u16, input: &[u32]) -> Vec<u32> {
         let coeffs: Vec<i32> = input.iter().map(|&w| w as i32).collect();
-        idct_2d_fixed(&coeffs).into_iter().map(|v| v as u32).collect()
+        idct_2d_fixed(&coeffs)
+            .into_iter()
+            .map(|v| v as u32)
+            .collect()
     }
 }
 
@@ -256,10 +259,7 @@ mod tests {
             let golden = idct_2d_f64(&coeffs.iter().map(|&c| f64::from(c)).collect::<Vec<_>>());
             let fixed = idct_2d_fixed(&coeffs);
             for (f, g) in fixed.iter().zip(&golden) {
-                assert!(
-                    (f64::from(*f) - g).abs() <= 1.0,
-                    "fixed {f} vs golden {g}"
-                );
+                assert!((f64::from(*f) - g).abs() <= 1.0, "fixed {f} vs golden {g}");
             }
         }
     }
@@ -298,7 +298,9 @@ mod tests {
         }
         s.start(0);
         s.run_until_done(1000);
-        let hw: Vec<i32> = (0..BLOCK_LEN).map(|_| s.pop_output(0).unwrap() as i32).collect();
+        let hw: Vec<i32> = (0..BLOCK_LEN)
+            .map(|_| s.pop_output(0).unwrap() as i32)
+            .collect();
         assert_eq!(hw, idct_2d_fixed(&coeffs));
     }
 
@@ -312,8 +314,9 @@ mod tests {
             }
             s.start(0);
             s.run_until_done(1000);
-            let hw: Vec<i32> =
-                (0..BLOCK_LEN).map(|_| s.pop_output(0).unwrap() as i32).collect();
+            let hw: Vec<i32> = (0..BLOCK_LEN)
+                .map(|_| s.pop_output(0).unwrap() as i32)
+                .collect();
             assert_eq!(hw, idct_2d_fixed(&coeffs), "round {round}");
         }
     }

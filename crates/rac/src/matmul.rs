@@ -73,7 +73,10 @@ impl BlockKernel for MatMulKernel {
         let n = usize::from(op).clamp(1, MAX_DIM);
         let a: Vec<i32> = input[..n * n].iter().map(|&w| w as i32).collect();
         let b: Vec<i32> = input[n * n..].iter().map(|&w| w as i32).collect();
-        matmul_i32(n, &a, &b).into_iter().map(|v| v as u32).collect()
+        matmul_i32(n, &a, &b)
+            .into_iter()
+            .map(|v| v as u32)
+            .collect()
     }
 }
 
@@ -191,7 +194,9 @@ mod tests {
         }
         s.start(n as u16);
         s.run_until_done(1_000_000);
-        let c: Vec<i32> = (0..n * n).map(|_| s.pop_output(0).unwrap() as i32).collect();
+        let c: Vec<i32> = (0..n * n)
+            .map(|_| s.pop_output(0).unwrap() as i32)
+            .collect();
         assert_eq!(c, matmul_i32(n, &a, &b));
     }
 

@@ -309,7 +309,10 @@ mod tests {
         s.start(n as u16);
         let cycles = s.run_until_done(10_000);
         // One pop per cycle plus end detection slack.
-        assert!(cycles >= u64::from(n) && cycles <= u64::from(n) + 3, "{cycles}");
+        assert!(
+            cycles >= u64::from(n) && cycles <= u64::from(n) + 3,
+            "{cycles}"
+        );
     }
 
     #[test]
@@ -317,7 +320,14 @@ mod tests {
         // 96-bit identity core: the output words equal the input words.
         let rac = WideFunctionRac::new("id96", 96, 96, 0, |v| v);
         let mut s = RacSocket::new(Box::new(rac), 64);
-        let words = [0x1111_1111u32, 0x2222_2222, 0x3333_3333, 0x4444_4444, 0x5555_5555, 0x6666_6666];
+        let words = [
+            0x1111_1111u32,
+            0x2222_2222,
+            0x3333_3333,
+            0x4444_4444,
+            0x5555_5555,
+            0x6666_6666,
+        ];
         for &w in &words {
             s.push_input(0, w).unwrap();
         }

@@ -128,6 +128,35 @@ impl ReconfigurableSlot {
         self.swaps
     }
 
+    /// The accelerator name of configuration `index`, if it exists.
+    #[must_use]
+    pub fn config_name(&self, index: usize) -> Option<&str> {
+        self.configs.get(index).map(|c| c.rac.name())
+    }
+
+    /// The configuration index whose accelerator is called `name`.
+    #[must_use]
+    pub fn find_config(&self, name: &str) -> Option<usize> {
+        self.configs.iter().position(|c| c.rac.name() == name)
+    }
+
+    /// The cycles an `rcfg` to configuration `index` would cost *right
+    /// now*: the full bitstream load for a different configuration, the
+    /// one-cycle settle for a reload of the active one. `None` for
+    /// unknown indices.
+    ///
+    /// Schedulers use this to decide whether batching more same-kind
+    /// jobs is worth delaying a pending swap.
+    #[must_use]
+    pub fn swap_cost(&self, index: usize) -> Option<u64> {
+        let config = self.configs.get(index)?;
+        Some(if index == self.active {
+            1
+        } else {
+            config.reconfig_cycles
+        })
+    }
+
     /// Whether a bitstream load is still in progress.
     #[must_use]
     pub fn is_loading(&self) -> bool {
@@ -252,10 +281,7 @@ mod tests {
     #[test]
     fn bad_slot_reported() {
         let mut s = slot();
-        assert_eq!(
-            s.reconfigure(7),
-            ReconfigResponse::BadSlot { available: 2 }
-        );
+        assert_eq!(s.reconfigure(7), ReconfigResponse::BadSlot { available: 2 });
         assert_eq!(s.active_index(), 0, "active config unchanged");
     }
 
@@ -319,6 +345,21 @@ mod tests {
             .with_config(Box::new(FirRac::new()), 1_000); // 2 in
         assert_eq!(s.num_input_fifos(), 2);
         assert_eq!(s.num_output_fifos(), 1);
+    }
+
+    #[test]
+    fn swap_queries_report_cost_and_names() {
+        let mut s = slot();
+        assert_eq!(s.config_name(0), Some("passthrough"));
+        assert_eq!(s.config_name(2), None);
+        assert_eq!(s.find_config("passthrough"), Some(0));
+        assert_eq!(s.find_config("nope"), None);
+        assert_eq!(s.swap_cost(0), Some(1), "reload of active is a settle");
+        assert_eq!(s.swap_cost(1), Some(2_000), "8000 bytes / 4 per cycle");
+        assert_eq!(s.swap_cost(9), None);
+        let _ = s.reconfigure(1);
+        assert_eq!(s.swap_cost(1), Some(1), "now active");
+        assert_eq!(s.swap_cost(0), Some(1_000));
     }
 
     #[test]

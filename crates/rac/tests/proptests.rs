@@ -1,42 +1,51 @@
-//! Property tests for the accelerator data paths: fixed-point kernels
-//! track their floating-point golden models over arbitrary inputs, and
-//! the streaming RACs preserve their algebraic identities.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the accelerator data paths:
+//! fixed-point kernels track their floating-point golden models over
+//! arbitrary inputs, and the streaming RACs preserve their algebraic
+//! identities.
+//!
+//! Formerly `proptest` properties; now driven by the in-repo seeded
+//! generator so the workspace tests fully offline.
 
 use ouessant_rac::dft::{dft_f64, dft_fixed, dft_latency};
 use ouessant_rac::fixed::{from_q15, q15_mul, Q15_ONE};
 use ouessant_rac::idct::{idct_2d_f64, idct_2d_fixed};
 use ouessant_rac::passthrough::PassthroughRac;
 use ouessant_rac::rac::RacSocket;
+use ouessant_sim::rng::XorShift64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn coeff_block(rng: &mut XorShift64, lo: i32, hi: i32) -> Vec<i32> {
+    (0..64).map(|_| rng.gen_range_i32(lo..hi)).collect()
+}
 
-    /// Fixed-point 2-D IDCT tracks the f64 reference within one LSB for
-    /// the full JPEG coefficient range.
-    #[test]
-    fn idct_fixed_tracks_golden(coeffs in prop::collection::vec(-2048i32..=2047, 64)) {
+/// Fixed-point 2-D IDCT tracks the f64 reference within one LSB for
+/// the full JPEG coefficient range.
+#[test]
+fn idct_fixed_tracks_golden() {
+    let mut rng = XorShift64::new(0xAC_0001);
+    for _ in 0..48 {
+        let coeffs = coeff_block(&mut rng, -2048, 2048);
         let fixed = idct_2d_fixed(&coeffs);
         let golden = idct_2d_f64(&coeffs.iter().map(|&c| f64::from(c)).collect::<Vec<_>>());
         for (f, g) in fixed.iter().zip(&golden) {
-            prop_assert!((f64::from(*f) - g).abs() <= 1.0, "fixed {f} vs golden {g}");
+            assert!((f64::from(*f) - g).abs() <= 1.0, "fixed {f} vs golden {g}");
         }
     }
+}
 
-    /// IDCT linearity: IDCT(a + b) == IDCT(a) + IDCT(b) within rounding.
-    #[test]
-    fn idct_is_linear(
-        a in prop::collection::vec(-900i32..=900, 64),
-        b in prop::collection::vec(-900i32..=900, 64),
-    ) {
+/// IDCT linearity: IDCT(a + b) == IDCT(a) + IDCT(b) within rounding.
+#[test]
+fn idct_is_linear() {
+    let mut rng = XorShift64::new(0xAC_0002);
+    for _ in 0..48 {
+        let a = coeff_block(&mut rng, -900, 901);
+        let b = coeff_block(&mut rng, -900, 901);
         let sum: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         let ia = idct_2d_fixed(&a);
         let ib = idct_2d_fixed(&b);
         let isum = idct_2d_fixed(&sum);
         for i in 0..64 {
             let linear = ia[i] + ib[i];
-            prop_assert!(
+            assert!(
                 (isum[i] - linear).abs() <= 2,
                 "index {i}: {} vs {}",
                 isum[i],
@@ -44,65 +53,86 @@ proptest! {
             );
         }
     }
+}
 
-    /// Fixed-point FFT tracks the f64 reference (scaled DFT) over
-    /// arbitrary Q15 inputs.
-    #[test]
-    fn dft_fixed_tracks_golden(
-        log_n in 3u32..=6,
-        seed_samples in prop::collection::vec(
-            (-Q15_ONE / 2..Q15_ONE / 2, -Q15_ONE / 2..Q15_ONE / 2),
-            64,
-        )
-    ) {
-        let samples = &seed_samples[..1 << log_n];
+fn bounded_samples(rng: &mut XorShift64, count: usize) -> Vec<(i32, i32)> {
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range_i32(-Q15_ONE / 2..Q15_ONE / 2),
+                rng.gen_range_i32(-Q15_ONE / 2..Q15_ONE / 2),
+            )
+        })
+        .collect()
+}
+
+/// Fixed-point FFT tracks the f64 reference (scaled DFT) over
+/// arbitrary Q15 inputs.
+#[test]
+fn dft_fixed_tracks_golden() {
+    let mut rng = XorShift64::new(0xAC_0003);
+    for _ in 0..48 {
+        let log_n = rng.gen_range_u32(3..7);
+        let samples = bounded_samples(&mut rng, 1 << log_n);
         let golden = dft_f64(
-            &samples.iter().map(|&(r, i)| (from_q15(r), from_q15(i))).collect::<Vec<_>>(),
+            &samples
+                .iter()
+                .map(|&(r, i)| (from_q15(r), from_q15(i)))
+                .collect::<Vec<_>>(),
         );
-        let fixed = dft_fixed(samples);
+        let fixed = dft_fixed(&samples);
         let bound = 24.0 / f64::from(Q15_ONE);
         for ((fr, fi), (gr, gi)) in fixed.iter().zip(&golden) {
-            prop_assert!((from_q15(*fr) - gr).abs() < bound);
-            prop_assert!((from_q15(*fi) - gi).abs() < bound);
+            assert!((from_q15(*fr) - gr).abs() < bound);
+            assert!((from_q15(*fi) - gi).abs() < bound);
         }
     }
+}
 
-    /// Parseval-flavoured bound: the scaled DFT of a bounded signal is
-    /// bounded (no internal overflow for |x| <= 0.5).
-    #[test]
-    fn dft_never_overflows_for_bounded_input(
-        samples in prop::collection::vec(
-            (-Q15_ONE / 2..Q15_ONE / 2, -Q15_ONE / 2..Q15_ONE / 2),
-            64,
-        )
-    ) {
+/// Parseval-flavoured bound: the scaled DFT of a bounded signal is
+/// bounded (no internal overflow for |x| <= 0.5).
+#[test]
+fn dft_never_overflows_for_bounded_input() {
+    let mut rng = XorShift64::new(0xAC_0004);
+    for _ in 0..48 {
+        let samples = bounded_samples(&mut rng, 64);
         for (re, im) in dft_fixed(&samples) {
-            prop_assert!(re.abs() <= Q15_ONE && im.abs() <= Q15_ONE);
+            assert!(re.abs() <= Q15_ONE && im.abs() <= Q15_ONE);
         }
     }
+}
 
-    /// The latency model is monotone and superlinear in N.
-    #[test]
-    fn dft_latency_monotone(log_n in 3u32..12) {
+/// The latency model is monotone and superlinear in N.
+#[test]
+fn dft_latency_monotone() {
+    for log_n in 3u32..12 {
         let n = 1usize << log_n;
-        prop_assert!(dft_latency(2 * n) > dft_latency(n));
-        prop_assert!(dft_latency(2 * n) < 4 * dft_latency(n));
+        assert!(dft_latency(2 * n) > dft_latency(n));
+        assert!(dft_latency(2 * n) < 4 * dft_latency(n));
     }
+}
 
-    /// Q15 multiplication is commutative and bounded.
-    #[test]
-    fn q15_mul_properties(a in -Q15_ONE..=Q15_ONE, b in -Q15_ONE..=Q15_ONE) {
-        prop_assert_eq!(q15_mul(a, b), q15_mul(b, a));
+/// Q15 multiplication is commutative and bounded.
+#[test]
+fn q15_mul_properties() {
+    let mut rng = XorShift64::new(0xAC_0005);
+    for _ in 0..5000 {
+        let a = rng.gen_range_i32(-Q15_ONE..Q15_ONE + 1);
+        let b = rng.gen_range_i32(-Q15_ONE..Q15_ONE + 1);
+        assert_eq!(q15_mul(a, b), q15_mul(b, a));
         // |a*b| <= |a| for |b| <= 1.0 (plus rounding slack).
-        prop_assert!(q15_mul(a, b).abs() <= a.abs().max(1) + 1);
+        assert!(q15_mul(a, b).abs() <= a.abs().max(1) + 1);
     }
+}
 
-    /// A passthrough RAC delivers any word stream unchanged, in order,
-    /// for any FIFO depth that can hold the stream.
-    #[test]
-    fn passthrough_preserves_streams(
-        words in prop::collection::vec(any::<u32>(), 1..200),
-    ) {
+/// A passthrough RAC delivers any word stream unchanged, in order,
+/// for any FIFO depth that can hold the stream.
+#[test]
+fn passthrough_preserves_streams() {
+    let mut rng = XorShift64::new(0xAC_0006);
+    for _ in 0..48 {
+        let n = rng.gen_range_u32(1..200) as usize;
+        let words = rng.vec_u32(n);
         let mut socket = RacSocket::new(Box::new(PassthroughRac::new(0)), words.len().max(4));
         for &w in &words {
             socket.push_input(0, w).expect("depth sized to stream");
@@ -110,7 +140,7 @@ proptest! {
         socket.start(u16::try_from(words.len()).expect("test sizes fit"));
         socket.run_until_done(1_000_000);
         for &w in &words {
-            prop_assert_eq!(socket.pop_output(0).expect("present"), w);
+            assert_eq!(socket.pop_output(0).expect("present"), w);
         }
     }
 }

@@ -70,7 +70,10 @@ impl Device {
     /// Whether `used` fits on the device at all.
     #[must_use]
     pub fn fits(&self, used: Resources) -> bool {
-        used.lut <= self.lut && used.ff <= self.ff && used.bram18 <= self.bram18 && used.dsp <= self.dsp
+        used.lut <= self.lut
+            && used.ff <= self.ff
+            && used.bram18 <= self.bram18
+            && used.dsp <= self.dsp
     }
 }
 

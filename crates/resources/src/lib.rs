@@ -28,5 +28,7 @@ pub mod estimate;
 pub mod timing;
 
 pub use device::{Device, Utilization};
-pub use estimate::{dpr_region_estimate, estimate_ocp, rac_estimate, OcpParams, RacKind, ResourceReport, Resources};
+pub use estimate::{
+    dpr_region_estimate, estimate_ocp, rac_estimate, OcpParams, RacKind, ResourceReport, Resources,
+};
 pub use timing::{estimate_fmax, TimingReport};

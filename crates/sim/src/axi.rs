@@ -257,7 +257,7 @@ impl AxiBus {
     }
 
     fn validate(&self, req: &TxnRequest) -> Result<usize, BusError> {
-        if req.addr() % 4 != 0 {
+        if !req.addr().is_multiple_of(4) {
             return Err(BusError::Unaligned { addr: req.addr() });
         }
         if req.beats() == 0 {
@@ -288,7 +288,7 @@ impl AxiBus {
                 stats.grants += 1;
                 channel.active = Some(ChannelActive {
                     master,
-                    setup_left: 0, // setup counted below via config at issue
+                    setup_left: 0,       // setup counted below via config at issue
                     wait_left: u32::MAX, // sentinel: initialize on first processing tick
                 });
                 let slot = channel.slots[master].as_ref().expect("present");
@@ -533,7 +533,8 @@ mod tests {
     #[test]
     fn write_then_read_round_trip() {
         let (mut bus, m) = axi_with_sram();
-        bus.try_begin(m, TxnRequest::write(0x10, vec![1, 2, 3])).unwrap();
+        bus.try_begin(m, TxnRequest::write(0x10, vec![1, 2, 3]))
+            .unwrap();
         run_until_idle(&mut bus, m);
         bus.take_completion(m).unwrap().unwrap();
         bus.try_begin(m, TxnRequest::read(0x10, 3)).unwrap();
@@ -548,7 +549,8 @@ mod tests {
         for i in 0..64u32 {
             bus.debug_write(0x400 + i * 4, i).unwrap();
         }
-        bus.try_begin(m, TxnRequest::write(0x000, vec![9; 64])).unwrap();
+        bus.try_begin(m, TxnRequest::write(0x000, vec![9; 64]))
+            .unwrap();
         bus.try_begin(m, TxnRequest::read(0x400, 64)).unwrap();
         run_until_idle(&mut bus, m);
         let total = bus.now().count();

@@ -337,6 +337,20 @@ pub struct BusStats {
     pub contention_cycles: u64,
 }
 
+/// Per-master statistics — the arbitration-level view a pool scheduler
+/// needs: which master is hogging the data path, and who is starving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MasterStats {
+    /// Grants won (one per sub-burst).
+    pub grants: u64,
+    /// Data beats completed on this master's behalf.
+    pub beats: u64,
+    /// Transactions retired without fault.
+    pub txns_completed: u64,
+    /// Cycles spent requesting while another master held the bus.
+    pub contention_cycles: u64,
+}
+
 #[derive(Debug)]
 struct OutstandingTxn {
     req: TxnRequest,
@@ -351,6 +365,7 @@ struct MasterPort {
     name: String,
     outstanding: Option<OutstandingTxn>,
     completion: Option<Result<Completion, BusError>>,
+    stats: MasterStats,
 }
 
 #[derive(Debug)]
@@ -358,10 +373,7 @@ enum Phase {
     /// Grant issued this cycle; address phase next.
     Granted,
     /// Address phase done; counting down wait states before a beat.
-    Beat {
-        wait_left: u32,
-        sub_beats_left: u16,
-    },
+    Beat { wait_left: u32, sub_beats_left: u16 },
 }
 
 #[derive(Debug)]
@@ -438,8 +450,35 @@ impl Bus {
             name: name.to_string(),
             outstanding: None,
             completion: None,
+            stats: MasterStats::default(),
         });
         MasterId(self.masters.len() - 1)
+    }
+
+    /// Number of registered masters.
+    #[must_use]
+    pub fn num_masters(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// The name `master` was registered under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `master` was not registered on this bus.
+    #[must_use]
+    pub fn master_name(&self, master: MasterId) -> &str {
+        &self.masters[master.0].name
+    }
+
+    /// Per-master statistics (grants, beats, contention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `master` was not registered on this bus.
+    #[must_use]
+    pub fn master_stats(&self, master: MasterId) -> MasterStats {
+        self.masters[master.0].stats
     }
 
     /// Maps `device` at `base`.
@@ -515,14 +554,11 @@ impl Bus {
     ///
     /// See [`BusError`]. On `Err` nothing is queued.
     pub fn try_begin(&mut self, master: MasterId, req: TxnRequest) -> Result<(), BusError> {
-        let port = self
-            .masters
-            .get(master.0)
-            .ok_or(BusError::UnknownMaster)?;
+        let port = self.masters.get(master.0).ok_or(BusError::UnknownMaster)?;
         if port.outstanding.is_some() || port.completion.is_some() {
             return Err(BusError::Busy);
         }
-        if req.addr % 4 != 0 {
+        if !req.addr.is_multiple_of(4) {
             return Err(BusError::Unaligned { addr: req.addr });
         }
         if req.beats == 0 {
@@ -590,27 +626,39 @@ impl Bus {
         self.masters[master.0].completion.take()
     }
 
-    /// Number of requesting masters currently *not* owning the bus.
-    fn count_contending(&self) -> u64 {
-        let owner = self.active.as_ref().map(|a| a.master);
-        self.masters
-            .iter()
-            .enumerate()
-            .filter(|(i, p)| p.outstanding.is_some() && Some(*i) != owner)
-            .count() as u64
+    /// Charges one contention cycle to every requesting master while a
+    /// *different* master owns the bus, and returns the number charged.
+    ///
+    /// Called *after* arbitration, so the master granted this cycle is
+    /// never charged for the cycle it won, and nobody is charged during
+    /// the unowned re-arbitration gap between sub-bursts — contention
+    /// measures time spent losing the bus to somebody else, which is
+    /// what a pool scheduler wants attributed per worker.
+    fn charge_contention(&mut self) -> u64 {
+        let Some(owner) = self.active.as_ref().map(|a| a.master) else {
+            return 0;
+        };
+        let mut contending = 0;
+        for (i, p) in self.masters.iter_mut().enumerate() {
+            if p.outstanding.is_some() && i != owner {
+                p.stats.contention_cycles += 1;
+                contending += 1;
+            }
+        }
+        contending
     }
 
     /// Advances the bus by one clock cycle.
     pub fn tick(&mut self) {
         self.now = self.now.next();
         self.stats.cycles += 1;
-        self.stats.contention_cycles += self.count_contending();
 
         match self.active.take() {
             None => {
                 if let Some(winner) = self.arbitrate() {
                     self.stats.grants += 1;
                     self.stats.busy_cycles += 1;
+                    self.masters[winner].stats.grants += 1;
                     self.last_grantee = winner;
                     self.trace.record(
                         self.now,
@@ -635,9 +683,7 @@ impl Bus {
                             .expect("granted master has an outstanding txn");
                         let remaining = txn.req.beats - txn.beats_done;
                         let sub = remaining.min(self.config.max_burst_beats);
-                        let wait = self.slaves[txn.slave_idx]
-                            .device
-                            .first_access_wait_states();
+                        let wait = self.slaves[txn.slave_idx].device.first_access_wait_states();
                         grant.phase = Phase::Beat {
                             wait_left: wait,
                             sub_beats_left: sub,
@@ -680,6 +726,7 @@ impl Bus {
                             }
                         };
                         self.stats.beats += 1;
+                        port.stats.beats += 1;
                         txn.beats_done += 1;
 
                         if let Some(fault) = fault {
@@ -713,6 +760,7 @@ impl Bus {
                                 ),
                             );
                             port.completion = Some(Ok(completion));
+                            port.stats.txns_completed += 1;
                             // Bus returns to arbitration next cycle.
                         } else if sub_beats_left == 1 {
                             // Sub-burst boundary: release the bus and
@@ -740,6 +788,7 @@ impl Bus {
                 }
             }
         }
+        self.stats.contention_cycles += self.charge_contention();
     }
 
     fn arbitrate(&self) -> Option<usize> {
@@ -805,7 +854,8 @@ mod tests {
         bus.try_begin(m, TxnRequest::write_word(0x4000_0010, 0xDEAD_BEEF))
             .unwrap();
         bus.run_to_completion(m).unwrap();
-        bus.try_begin(m, TxnRequest::read_word(0x4000_0010)).unwrap();
+        bus.try_begin(m, TxnRequest::read_word(0x4000_0010))
+            .unwrap();
         let c = bus.run_to_completion(m).unwrap();
         assert_eq!(c.data, vec![0xDEAD_BEEF]);
     }
@@ -813,7 +863,8 @@ mod tests {
     #[test]
     fn single_beat_timing_no_wait_states() {
         let (mut bus, m) = bus_with_sram();
-        bus.try_begin(m, TxnRequest::write_word(0x4000_0000, 1)).unwrap();
+        bus.try_begin(m, TxnRequest::write_word(0x4000_0000, 1))
+            .unwrap();
         let c = bus.run_to_completion(m).unwrap();
         // grant + address + 1 beat = 3 cycles.
         assert_eq!(c.cycles, 3);
@@ -874,7 +925,8 @@ mod tests {
     #[test]
     fn busy_master_rejected() {
         let (mut bus, m) = bus_with_sram();
-        bus.try_begin(m, TxnRequest::read_word(0x4000_0000)).unwrap();
+        bus.try_begin(m, TxnRequest::read_word(0x4000_0000))
+            .unwrap();
         assert_eq!(
             bus.try_begin(m, TxnRequest::read_word(0x4000_0000)),
             Err(BusError::Busy)
@@ -1028,6 +1080,39 @@ mod tests {
         assert_eq!(s.beats, 32);
         assert_eq!(s.grants, 2);
         assert!(s.busy_cycles <= s.cycles);
+    }
+
+    #[test]
+    fn per_master_stats_attribute_grants_beats_and_contention() {
+        let mut bus = Bus::new(BusConfig::default());
+        let cpu = bus.register_master("cpu");
+        let ocp = bus.register_master("ocp");
+        bus.add_slave(0, Sram::with_words(256, SramConfig::no_wait()));
+        bus.try_begin(cpu, TxnRequest::write(0, vec![0; 32]))
+            .unwrap();
+        bus.try_begin(ocp, TxnRequest::read(0x100, 8)).unwrap();
+        while bus.poll(cpu).is_pending() || bus.poll(ocp).is_pending() {
+            bus.tick();
+        }
+        bus.take_completion(cpu).unwrap().unwrap();
+        bus.take_completion(ocp).unwrap().unwrap();
+        let c = bus.master_stats(cpu);
+        let o = bus.master_stats(ocp);
+        assert_eq!(c.beats, 32);
+        assert_eq!(o.beats, 8);
+        assert_eq!(c.txns_completed, 1);
+        assert_eq!(o.txns_completed, 1);
+        assert_eq!(c.grants, 2); // 32 beats = 2 sub-bursts
+        assert_eq!(o.grants, 1);
+        // Fixed priority: the OCP waited while the CPU held the bus.
+        assert!(o.contention_cycles > 0);
+        assert_eq!(c.contention_cycles, 0);
+        assert_eq!(
+            c.contention_cycles + o.contention_cycles,
+            bus.stats().contention_cycles
+        );
+        assert_eq!(bus.master_name(ocp), "ocp");
+        assert_eq!(bus.num_masters(), 2);
     }
 
     #[test]

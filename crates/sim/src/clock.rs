@@ -170,7 +170,7 @@ impl Default for Frequency {
 
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.hz % 1_000_000 == 0 {
+        if self.hz.is_multiple_of(1_000_000) {
             write!(f, "{} MHz", self.hz / 1_000_000)
         } else if self.hz >= 1_000_000 {
             write!(f, "{:.1} MHz", self.hz as f64 / 1.0e6)

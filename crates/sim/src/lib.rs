@@ -52,13 +52,15 @@ pub mod bus;
 pub mod clock;
 pub mod fifo;
 pub mod memory;
+pub mod rng;
 pub mod trace;
 pub mod vcd;
 
 pub use axi::{AxiBus, AxiConfig, SystemBus};
-pub use bus::{Bus, BusConfig, BusError, Completion, MasterId, TxnKind, TxnRequest};
+pub use bus::{Bus, BusConfig, BusError, Completion, MasterId, MasterStats, TxnKind, TxnRequest};
 pub use clock::{Cycle, Frequency};
 pub use fifo::{FifoError, SyncFifo, WidthAdapter};
 pub use memory::{Sram, SramConfig};
+pub use rng::XorShift64;
 pub use trace::{Trace, TraceEvent};
 pub use vcd::{SignalId, VcdWriter};

@@ -22,7 +22,13 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>10}] {:<16} {}", self.cycle.count(), self.source, self.message)
+        write!(
+            f,
+            "[{:>10}] {:<16} {}",
+            self.cycle.count(),
+            self.source,
+            self.message
+        )
     }
 }
 
@@ -105,7 +111,9 @@ impl Trace {
 
     /// Events whose source starts with `prefix`.
     pub fn from_source<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.source.starts_with(prefix))
+        self.events
+            .iter()
+            .filter(move |e| e.source.starts_with(prefix))
     }
 
     /// Clears all recorded events.

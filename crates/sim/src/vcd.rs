@@ -215,7 +215,11 @@ mod tests {
             vcd.change(Cycle::new(t), s, 1); // never transitions after t=0
         }
         let text = vcd.render();
-        assert_eq!(text.matches("1!").count(), 1, "only one transition:\n{text}");
+        assert_eq!(
+            text.matches("1!").count(),
+            1,
+            "only one transition:\n{text}"
+        );
         assert!(!text.contains("#5"), "quiet cycles emit no timestamps");
     }
 

@@ -1,0 +1,323 @@
+//! A shared-memory bank allocator for concurrent offload jobs.
+//!
+//! The paper's flow hands the OCP a handful of statically placed memory
+//! banks; a *pool* of coprocessors serving a stream of jobs needs the
+//! host to carve per-job program/input/output regions out of the shared
+//! SRAM and recycle them as jobs retire. [`BankAllocator`] is that
+//! piece: a word-granular first-fit free-list allocator with coalescing
+//! frees, deterministic like everything else in the simulation.
+//!
+//! The allocator tracks watermarks so a serving layer can report memory
+//! pressure alongside latency (see `ouessant-farm`).
+
+use std::error::Error;
+use std::fmt;
+
+use ouessant_sim::bus::Addr;
+
+/// A region of shared memory leased from a [`BankAllocator`].
+///
+/// Regions are plain values; returning one to a *different* allocator
+/// (or twice) is detected and rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: Addr,
+    words: u32,
+}
+
+impl Region {
+    /// Byte base address (always word-aligned).
+    #[must_use]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Length in 32-bit words.
+    #[must_use]
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+}
+
+/// Allocation and free failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free extent can hold the request.
+    OutOfMemory {
+        /// Words requested.
+        requested: u32,
+        /// Largest free extent available, in words.
+        largest_free: u32,
+    },
+    /// Zero-length allocations are meaningless.
+    EmptyRegion,
+    /// The region was not leased from this allocator (or already
+    /// returned).
+    ForeignRegion {
+        /// Offending base address.
+        base: Addr,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "out of shared memory: {requested} words requested, largest free extent {largest_free}"
+            ),
+            AllocError::EmptyRegion => f.write_str("zero-length region requested"),
+            AllocError::ForeignRegion { base } => write!(
+                f,
+                "region at {base:#010x} was not leased from this allocator (double free?)"
+            ),
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+/// Allocator statistics (watermarks for serving-layer reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Failed allocations (out of memory).
+    pub failures: u64,
+    /// Words currently leased.
+    pub words_in_use: u32,
+    /// Peak of `words_in_use`.
+    pub peak_words_in_use: u32,
+}
+
+/// First-fit free-list allocator over a window of shared memory.
+#[derive(Debug)]
+pub struct BankAllocator {
+    base: Addr,
+    words: u32,
+    /// Free extents as `(word_offset, words)`, sorted by offset,
+    /// non-adjacent (frees coalesce).
+    free: Vec<(u32, u32)>,
+    /// Leased extents as `(word_offset, words)`, sorted by offset.
+    leased: Vec<(u32, u32)>,
+    stats: AllocStats,
+}
+
+impl BankAllocator {
+    /// An allocator managing `words` 32-bit words starting at byte
+    /// address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned or `words` is zero (static
+    /// integration errors).
+    #[must_use]
+    pub fn new(base: Addr, words: u32) -> Self {
+        assert_eq!(base % 4, 0, "allocator base must be word-aligned");
+        assert!(words > 0, "allocator window must be non-empty");
+        Self {
+            base,
+            words,
+            free: vec![(0, words)],
+            leased: Vec::new(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Total managed words.
+    #[must_use]
+    pub fn capacity_words(&self) -> u32 {
+        self.words
+    }
+
+    /// The largest single allocation that would currently succeed.
+    #[must_use]
+    pub fn largest_free(&self) -> u32 {
+        self.free.iter().map(|&(_, len)| len).max().unwrap_or(0)
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// Leases a region of `words` words.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::EmptyRegion`] for zero words,
+    /// [`AllocError::OutOfMemory`] when no free extent fits.
+    pub fn alloc(&mut self, words: u32) -> Result<Region, AllocError> {
+        if words == 0 {
+            return Err(AllocError::EmptyRegion);
+        }
+        let Some(idx) = self.free.iter().position(|&(_, len)| len >= words) else {
+            self.stats.failures += 1;
+            return Err(AllocError::OutOfMemory {
+                requested: words,
+                largest_free: self.largest_free(),
+            });
+        };
+        let (off, len) = self.free[idx];
+        if len == words {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = (off + words, len - words);
+        }
+        let pos = self
+            .leased
+            .binary_search_by_key(&off, |&(o, _)| o)
+            .unwrap_err();
+        self.leased.insert(pos, (off, words));
+        self.stats.allocs += 1;
+        self.stats.words_in_use += words;
+        self.stats.peak_words_in_use = self.stats.peak_words_in_use.max(self.stats.words_in_use);
+        Ok(Region {
+            base: self.base + off * 4,
+            words,
+        })
+    }
+
+    /// Returns a leased region, coalescing it with adjacent free
+    /// extents.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ForeignRegion`] if the region is not currently
+    /// leased from this allocator (wrong allocator or double free).
+    pub fn free(&mut self, region: Region) -> Result<(), AllocError> {
+        let foreign = AllocError::ForeignRegion { base: region.base };
+        if region.base < self.base || !(region.base - self.base).is_multiple_of(4) {
+            return Err(foreign);
+        }
+        let off = (region.base - self.base) / 4;
+        let Ok(idx) = self.leased.binary_search_by_key(&off, |&(o, _)| o) else {
+            return Err(foreign);
+        };
+        if self.leased[idx].1 != region.words {
+            return Err(foreign);
+        }
+        self.leased.remove(idx);
+        self.stats.frees += 1;
+        self.stats.words_in_use -= region.words;
+
+        // Insert into the free list and coalesce with neighbours.
+        let pos = self
+            .free
+            .binary_search_by_key(&off, |&(o, _)| o)
+            .unwrap_err();
+        self.free.insert(pos, (off, region.words));
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            self.free[pos].1 += self.free[pos + 1].1;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            self.free[pos - 1].1 += self.free[pos].1;
+            self.free.remove(pos);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_round_trip_restores_capacity() {
+        let mut a = BankAllocator::new(0x4000_0000, 1024);
+        let r1 = a.alloc(100).unwrap();
+        let r2 = a.alloc(200).unwrap();
+        assert_eq!(r1.base(), 0x4000_0000);
+        assert_eq!(r2.base(), 0x4000_0000 + 400);
+        a.free(r1).unwrap();
+        a.free(r2).unwrap();
+        assert_eq!(a.largest_free(), 1024, "coalesced back to one extent");
+        assert_eq!(a.stats().words_in_use, 0);
+        assert_eq!(a.stats().peak_words_in_use, 300);
+    }
+
+    #[test]
+    fn out_of_memory_reports_largest_extent() {
+        let mut a = BankAllocator::new(0, 64);
+        let _r = a.alloc(60).unwrap();
+        assert_eq!(
+            a.alloc(8),
+            Err(AllocError::OutOfMemory {
+                requested: 8,
+                largest_free: 4
+            })
+        );
+        assert_eq!(a.stats().failures, 1);
+    }
+
+    #[test]
+    fn first_fit_reuses_freed_holes() {
+        let mut a = BankAllocator::new(0, 100);
+        let r1 = a.alloc(30).unwrap();
+        let _r2 = a.alloc(30).unwrap();
+        let _r3 = a.alloc(30).unwrap();
+        a.free(r1).unwrap();
+        let r4 = a.alloc(20).unwrap();
+        assert_eq!(r4.base(), 0, "fills the first hole");
+        let r5 = a.alloc(10).unwrap();
+        assert_eq!(r5.base(), 20 * 4, "remainder of the first hole");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = BankAllocator::new(0, 64);
+        let r = a.alloc(8).unwrap();
+        a.free(r).unwrap();
+        assert_eq!(a.free(r), Err(AllocError::ForeignRegion { base: 0 }));
+    }
+
+    #[test]
+    fn foreign_region_rejected() {
+        let mut a = BankAllocator::new(0x1000, 64);
+        let mut b = BankAllocator::new(0x1000, 64);
+        let r = a.alloc(8).unwrap();
+        // Same window, but b never leased it at this length pattern:
+        // lease b's own region first so offsets differ.
+        let _rb = b.alloc(4).unwrap();
+        assert!(matches!(b.free(r), Err(AllocError::ForeignRegion { .. })));
+        assert_eq!(
+            b.free(Region {
+                base: 0x0FFC,
+                words: 1
+            }),
+            Err(AllocError::ForeignRegion { base: 0x0FFC })
+        );
+    }
+
+    #[test]
+    fn zero_words_rejected() {
+        let mut a = BankAllocator::new(0, 64);
+        assert_eq!(a.alloc(0), Err(AllocError::EmptyRegion));
+    }
+
+    #[test]
+    fn fragmentation_then_coalesce_interior() {
+        let mut a = BankAllocator::new(0, 120);
+        let regions: Vec<Region> = (0..6).map(|_| a.alloc(20).unwrap()).collect();
+        // Free odd regions, then even: interleaved frees must coalesce.
+        for (i, r) in regions.iter().enumerate() {
+            if i % 2 == 1 {
+                a.free(*r).unwrap();
+            }
+        }
+        for (i, r) in regions.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(*r).unwrap();
+            }
+        }
+        assert_eq!(a.largest_free(), 120);
+    }
+}

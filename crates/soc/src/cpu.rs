@@ -236,8 +236,7 @@ impl fmt::Display for OpCounts {
         write!(
             f,
             "alu {} mul {} ld {} st {} br {} call {} fadd {} fmul {}",
-            self.alu, self.mul, self.load, self.store, self.branch, self.call, self.fadd,
-            self.fmul
+            self.alu, self.mul, self.load, self.store, self.branch, self.call, self.fadd, self.fmul
         )
     }
 }

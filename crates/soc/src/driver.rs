@@ -294,8 +294,7 @@ mod tests {
 
     #[test]
     fn round_trip_through_device() {
-        let mut dev =
-            OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_mmap());
+        let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_mmap());
         dev.load_microcode(&program()).unwrap();
         let input: Vec<u32> = (0..16).map(|i| i * 3).collect();
         dev.write_input(&input).unwrap();
@@ -359,8 +358,7 @@ mod tests {
 
     #[test]
     fn repeated_submissions_reuse_microcode() {
-        let mut dev =
-            OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_mmap());
+        let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::linux_mmap());
         dev.load_microcode(&program()).unwrap();
         for round in 0..3u32 {
             let input: Vec<u32> = (0..16).map(|i| round * 100 + i).collect();

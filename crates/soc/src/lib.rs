@@ -18,7 +18,9 @@
 //!   AHB-like bus, with polling- or interrupt-based completion;
 //! * [`app`] — the application layer that reproduces Table I and the
 //!   in-text results: `accelerated_idct`, `accelerated_dft`, their
-//!   software twins, and `table1()`.
+//!   software twins, and `table1()`;
+//! * [`alloc`] — a first-fit shared-SRAM bank allocator used by the
+//!   `ouessant-farm` serving layer to carve per-job regions.
 //!
 //! ## Example
 //!
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod app;
 pub mod cpu;
 pub mod driver;
@@ -44,9 +47,13 @@ pub mod soc;
 pub mod standalone;
 pub mod sw;
 
-pub use app::{dft_experiment, idct_experiment, table1, transfer_experiment, ExperimentConfig, Table1Row, TransferReport};
+pub use alloc::{AllocError, AllocStats, BankAllocator, Region};
+pub use app::{
+    dft_experiment, idct_experiment, table1, transfer_experiment, ExperimentConfig, Table1Row,
+    TransferReport,
+};
 pub use cpu::{CostModel, CpuCosts, OpCounts};
-pub use os::OsModel;
 pub use driver::{DriverError, DriverStats, OuessantDevice};
+pub use os::OsModel;
 pub use soc::{CompletionMode, OffloadReport, Soc, SocConfig};
 pub use standalone::StandaloneSystem;

@@ -35,10 +35,11 @@ pub const LINUX_CACHE_CYCLES: u64 = 500;
 pub const LINUX_COPY_CYCLES_PER_WORD: u64 = 4;
 
 /// The software environment an offload runs under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OsModel {
     /// No OS: the application drives the OCP registers directly.
     /// "When no virtual memory is used, integration is quite easy."
+    #[default]
     Baremetal,
     /// The paper's Linux driver: kernel buffers mmap'ed into user space,
     /// so crossings cost syscalls but no data copies.
@@ -112,12 +113,6 @@ impl OsModel {
     #[must_use]
     pub fn copies_data(&self) -> bool {
         matches!(self, OsModel::LinuxCopy { .. })
-    }
-}
-
-impl Default for OsModel {
-    fn default() -> Self {
-        OsModel::Baremetal
     }
 }
 

@@ -17,7 +17,7 @@ use ouessant_sim::memory::{Sram, SramConfig};
 use ouessant_sim::{MasterId, SystemBus};
 
 /// How the CPU learns that the OCP finished.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CompletionMode {
     /// The CPU reads the control register every `interval` cycles and
     /// checks the D bit (costs bus bandwidth — visible as contention).
@@ -27,13 +27,8 @@ pub enum CompletionMode {
     },
     /// The CPU sleeps until the OCP raises its interrupt line (the IE
     /// bit is set; the paper's measurements use "interrupt mode").
+    #[default]
     Interrupt,
-}
-
-impl Default for CompletionMode {
-    fn default() -> Self {
-        CompletionMode::Interrupt
-    }
 }
 
 /// Static SoC parameters.
@@ -245,8 +240,7 @@ impl Soc {
     ///
     /// Propagates bus errors.
     pub fn cpu_read(&mut self, addr: Addr) -> Result<(u32, u64), SocError> {
-        self.bus
-            .try_begin(self.cpu, TxnRequest::read_word(addr))?;
+        self.bus.try_begin(self.cpu, TxnRequest::read_word(addr))?;
         let mut cycles = 0;
         while self.bus.poll(self.cpu) == PortState::Pending {
             self.tick_system();
@@ -290,10 +284,8 @@ impl Soc {
     pub fn start_and_wait(&mut self, max_cycles: u64) -> Result<OffloadReport, SocError> {
         let ie = matches!(self.config.completion, CompletionMode::Interrupt);
         let ctrl_value = ouessant::regs::CTRL_S | if ie { ouessant::regs::CTRL_IE } else { 0 };
-        let config_cycles = self.cpu_write(
-            self.config.ocp_base + ouessant::regs::REG_CTRL,
-            ctrl_value,
-        )?;
+        let config_cycles =
+            self.cpu_write(self.config.ocp_base + ouessant::regs::REG_CTRL, ctrl_value)?;
 
         let mut run_cycles = 0u64;
         let mut polls = 0u64;
@@ -341,9 +333,7 @@ impl Soc {
                     } else if run_cycles >= next_poll {
                         self.bus.try_begin(
                             self.cpu,
-                            TxnRequest::read_word(
-                                self.config.ocp_base + ouessant::regs::REG_CTRL,
-                            ),
+                            TxnRequest::read_word(self.config.ocp_base + ouessant::regs::REG_CTRL),
                         )?;
                         poll_outstanding = true;
                     }
@@ -379,13 +369,16 @@ mod tests {
         let prog_at = ram;
         let in_at = ram + 0x1000;
         let out_at = ram + 0x2000;
-        let program = assemble("mvtc BANK1,0,DMA16,FIFO0\nexecs 16\nmvfc BANK2,0,DMA16,FIFO0\neop")
-            .unwrap();
+        let program =
+            assemble("mvtc BANK1,0,DMA16,FIFO0\nexecs 16\nmvfc BANK2,0,DMA16,FIFO0\neop").unwrap();
         soc.load_words(prog_at, &program.to_words()).unwrap();
         let input: Vec<u32> = (0..16).map(|i| 0xF00D_0000 + i).collect();
         soc.load_words(in_at, &input).unwrap();
-        soc.configure(&[(0, prog_at), (1, in_at), (2, out_at)], program.len() as u32)
-            .unwrap();
+        soc.configure(
+            &[(0, prog_at), (1, in_at), (2, out_at)],
+            program.len() as u32,
+        )
+        .unwrap();
         (soc, prog_at, in_at, out_at)
     }
 
@@ -459,7 +452,10 @@ mod tests {
         let config = SocConfig::default();
         let mut soc = Soc::new(Box::new(PassthroughRac::new(0)), config);
         let cycles = soc
-            .configure(&[(0, soc.config().ram_base), (1, soc.config().ram_base + 64)], 4)
+            .configure(
+                &[(0, soc.config().ram_base), (1, soc.config().ram_base + 64)],
+                4,
+            )
             .unwrap();
         // 3 register writes, each a single-beat bus transaction.
         assert!(cycles >= 9, "three timed writes, got {cycles}");

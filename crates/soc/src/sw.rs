@@ -160,7 +160,10 @@ pub fn sw_idct_8x8(cpu: &mut CostModel, coeffs: &[i32]) -> Vec<i32> {
 #[must_use]
 pub fn sw_fft_f64(cpu: &mut CostModel, input: &[(f64, f64)]) -> Vec<(f64, f64)> {
     let n = input.len();
-    assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "FFT size must be a power of two"
+    );
     let stages = n.trailing_zeros();
     cpu.call(1);
 
@@ -171,7 +174,7 @@ pub fn sw_fft_f64(cpu: &mut CostModel, input: &[(f64, f64)]) -> Vec<(f64, f64)> 
         cpu.load(2);
         cpu.store(2);
         cpu.branch(1);
-        let j = (i.reverse_bits() >> (usize::BITS - stages)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - stages);
         data[j] = x;
     }
 

@@ -32,7 +32,7 @@ fn synthetic_blocks() -> Vec<Vec<i32>> {
                     // JPEG-like: strong DC, sparse AC.
                     if i == 0 {
                         ((state >> 20) as i32 % 1024) + 512
-                    } else if state % 5 == 0 {
+                    } else if state.is_multiple_of(5) {
                         ((state >> 18) as i32 % 256) - 128
                     } else {
                         0
@@ -74,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     soc.load_words(prog_at, &program.to_words())?;
     let flat: Vec<u32> = blocks.iter().flatten().map(|&c| c as u32).collect();
     soc.load_words(in_at, &flat)?;
-    soc.configure(&[(0, prog_at), (1, in_at), (2, out_at)], program.len() as u32)?;
+    soc.configure(
+        &[(0, prog_at), (1, in_at), (2, out_at)],
+        program.len() as u32,
+    )?;
     let report = soc.start_and_wait(10_000_000)?;
 
     // Software decode of the same image.

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- §V-B in-text ----
     println!("\n## §V-B in-text numbers\n");
     let bare = dft_experiment(&ExperimentConfig::paper_baremetal())?;
-    println!("- DFT baremetal: **{}** cycles (paper 4000)", bare.machine_cycles);
+    println!(
+        "- DFT baremetal: **{}** cycles (paper 4000)",
+        bare.machine_cycles
+    );
     println!(
         "- Linux overhead: **{}** cycles (paper 3000)",
         dft.hw_cycles - bare.hw_cycles
@@ -62,13 +65,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "- OCP overhead: **{} LUT / {} FF** (paper < 1000 / < 750) → {}",
         overhead.lut,
         overhead.ff,
-        if overhead.lut < 1000 && overhead.ff < 750 { "claim HOLDS" } else { "claim VIOLATED" }
+        if overhead.lut < 1000 && overhead.ff < 750 {
+            "claim HOLDS"
+        } else {
+            "claim VIOLATED"
+        }
     );
     let timing = estimate_fmax(&params);
     println!(
         "- timing: fmax {} at 50 MHz system clock → {}",
         timing.fmax(),
-        if timing.meets(Frequency::mhz(50)) { "no timing errors" } else { "FAILS" }
+        if timing.meets(Frequency::mhz(50)) {
+            "no timing errors"
+        } else {
+            "FAILS"
+        }
     );
     println!(
         "- utilization on {}: {}",
@@ -82,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("|---|---:|");
     for burst in [8u16, 16, 32, 64, 128, 256] {
         let r = transfer_experiment(
-            &ExperimentConfig { burst, ..ExperimentConfig::paper_baremetal() },
+            &ExperimentConfig {
+                burst,
+                ..ExperimentConfig::paper_baremetal()
+            },
             512,
         )?;
         println!("| DMA{burst} | {:.3} |", r.cycles_per_word());
@@ -96,15 +110,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let base = ExperimentConfig::paper_baremetal();
         let row = dft_experiment(&ExperimentConfig {
-            soc: SocConfig { completion: mode, ..base.soc },
+            soc: SocConfig {
+                completion: mode,
+                ..base.soc
+            },
             ..base
         })?;
         println!("- {name}: {} cycles", row.machine_cycles);
     }
 
     println!("\n## Ablation A3: driver strategy (DFT HW cycles)\n");
-    for os in [OsModel::Baremetal, OsModel::linux_mmap(), OsModel::linux_copy()] {
-        let row = dft_experiment(&ExperimentConfig { os, ..ExperimentConfig::paper_linux() })?;
+    for os in [
+        OsModel::Baremetal,
+        OsModel::linux_mmap(),
+        OsModel::linux_copy(),
+    ] {
+        let row = dft_experiment(&ExperimentConfig {
+            os,
+            ..ExperimentConfig::paper_linux()
+        })?;
         println!("- {os}: {} cycles (gain {:.1})", row.hw_cycles, row.gain);
     }
 
@@ -114,7 +138,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r = transfer_experiment(
             &ExperimentConfig {
                 soc: SocConfig {
-                    sram: SramConfig { first_access_wait_states: ws, sequential_wait_states: 0 },
+                    sram: SramConfig {
+                        first_access_wait_states: ws,
+                        sequential_wait_states: 0,
+                    },
                     ..base.soc
                 },
                 ..base

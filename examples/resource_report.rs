@@ -7,9 +7,7 @@
 //! ```
 
 use ouessant_resources::estimate::ocp_overhead;
-use ouessant_resources::{
-    estimate_fmax, estimate_ocp, rac_estimate, Device, OcpParams, RacKind,
-};
+use ouessant_resources::{estimate_fmax, estimate_ocp, rac_estimate, Device, OcpParams, RacKind};
 use ouessant_sim::Frequency;
 
 fn main() {
@@ -35,7 +33,14 @@ fn main() {
         println!();
         println!("OCP overhead (interface + controller + FIFO control):");
         println!("  {overhead}");
-        println!("  paper claim: < 1000 LUT, < 750 FF  →  {}", if overhead.lut < 1000 && overhead.ff < 750 { "HOLDS" } else { "VIOLATED" });
+        println!(
+            "  paper claim: < 1000 LUT, < 750 FF  →  {}",
+            if overhead.lut < 1000 && overhead.ff < 750 {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
+        );
         println!("  utilization: {}", device.utilization(overhead));
         let timing = estimate_fmax(&params);
         println!(

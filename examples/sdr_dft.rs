@@ -17,11 +17,11 @@ use std::f64::consts::PI;
 use ouessant_isa::ProgramBuilder;
 use ouessant_rac::dft::DftRac;
 use ouessant_rac::fixed::{from_q15, to_q15};
+use ouessant_sim::{Cycle, Frequency};
 use ouessant_soc::cpu::CostModel;
 use ouessant_soc::os::OsModel;
 use ouessant_soc::soc::{Soc, SocConfig};
 use ouessant_soc::sw::sw_fft_f64;
-use ouessant_sim::{Cycle, Frequency};
 
 const N: usize = 256;
 const FRAMES: usize = 4;
@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .flat_map(|&(re, im)| [to_q15(re) as u32, to_q15(im) as u32])
             .collect();
         soc.load_words(in_at, &words)?;
-        soc.configure(&[(0, prog_at), (1, in_at), (2, out_at)], program.len() as u32)?;
+        soc.configure(
+            &[(0, prog_at), (1, in_at), (2, out_at)],
+            program.len() as u32,
+        )?;
         let report = soc.start_and_wait(10_000_000)?;
         hw_total += report.machine_cycles() + os.invocation_overhead(report.words_transferred);
 

@@ -4,8 +4,8 @@
 //! cargo run --example table1
 //! ```
 
-use ouessant_soc::app::{dft_experiment, table1, transfer_experiment, ExperimentConfig};
 use ouessant_rac::dft::dft_latency;
+use ouessant_soc::app::{dft_experiment, table1, transfer_experiment, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table I: Time results for OCP (Linux, mmap driver, 50 MHz)");

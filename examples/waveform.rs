@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bus = Bus::new(BusConfig::default());
     let _cpu = bus.register_master("cpu");
     bus.add_slave(RAM, Sram::with_words(8192, SramConfig::default()));
-    let mut ocp = Ocp::attach(&mut bus, OCP, Box::new(IdctRac::new()), OcpConfig::default());
+    let mut ocp = Ocp::attach(
+        &mut bus,
+        OCP,
+        Box::new(IdctRac::new()),
+        OcpConfig::default(),
+    );
 
     let program = assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs\nmvfc BANK2,0,DMA64,FIFO0\neop")?;
     for (i, w) in program.to_words().iter().enumerate() {
@@ -59,9 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vcd.change(
             t,
             sig_in_occ,
-            (ocp.socket().num_inputs() > 0)
-                .then(|| 1024 - ocp.socket().input_space(0))
-                .unwrap_or(0) as u64,
+            if ocp.socket().num_inputs() > 0 {
+                1024 - ocp.socket().input_space(0)
+            } else {
+                0
+            } as u64,
         );
         vcd.change(t, sig_out_occ, ocp.socket().output_available(0) as u64);
         cycle += 1;
@@ -71,6 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = "target/ouessant_offload.vcd";
     std::fs::write(path, vcd.render())?;
     println!("offload finished in {cycle} cycles");
-    println!("waveform with {} signals written to {path}", vcd.num_signals());
+    println!(
+        "waveform with {} signals written to {path}",
+        vcd.num_signals()
+    );
     Ok(())
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, offline build, full test suite.
+#
+# The workspace must build with no network access (zero registry
+# dependencies); --offline enforces that invariant on every run.
+# crates/bench (criterion) is excluded from the workspace and is NOT
+# built here — run `cd crates/bench && cargo bench` on a machine with
+# registry access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (offline, all workspace members)"
+cargo test -q --offline --workspace
+
+echo "==> CI green"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/axi_portability-35f6213b58932ab6.d: tests/axi_portability.rs
+
+/root/repo/target/debug/deps/axi_portability-35f6213b58932ab6: tests/axi_portability.rs
+
+tests/axi_portability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/axi_portability-4f7164fc2c25d9d1.d: tests/axi_portability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaxi_portability-4f7164fc2c25d9d1.rmeta: tests/axi_portability.rs Cargo.toml
+
+tests/axi_portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

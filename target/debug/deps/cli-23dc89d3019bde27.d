@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-23dc89d3019bde27.d: crates/isa/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-23dc89d3019bde27.rmeta: crates/isa/tests/cli.rs Cargo.toml
+
+crates/isa/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_ouas=placeholder:ouas
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

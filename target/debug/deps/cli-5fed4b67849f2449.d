@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-5fed4b67849f2449.d: crates/isa/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-5fed4b67849f2449: crates/isa/tests/cli.rs
+
+crates/isa/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_ouas=/root/repo/target/debug/ouas

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e_proptests-7a1e34f475fc201a.d: tests/e2e_proptests.rs
+
+/root/repo/target/debug/deps/e2e_proptests-7a1e34f475fc201a: tests/e2e_proptests.rs
+
+tests/e2e_proptests.rs:

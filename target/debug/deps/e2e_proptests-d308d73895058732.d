@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e_proptests-d308d73895058732.d: tests/e2e_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e_proptests-d308d73895058732.rmeta: tests/e2e_proptests.rs Cargo.toml
+
+tests/e2e_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

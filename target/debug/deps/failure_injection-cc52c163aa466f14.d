@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-cc52c163aa466f14.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-cc52c163aa466f14: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-5d2726cca4665ced.d: tests/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-5d2726cca4665ced.rmeta: tests/figures.rs Cargo.toml
+
+tests/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-794d20dd592af5f7.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-794d20dd592af5f7: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_ocp-d1a7dc9a72847359.d: tests/multi_ocp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_ocp-d1a7dc9a72847359.rmeta: tests/multi_ocp.rs Cargo.toml
+
+tests/multi_ocp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_ocp-e14be6a118fef757.d: tests/multi_ocp.rs
+
+/root/repo/target/debug/deps/multi_ocp-e14be6a118fef757: tests/multi_ocp.rs
+
+tests/multi_ocp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_equivalence-0f6baf44eb5e2058.d: tests/optimizer_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_equivalence-0f6baf44eb5e2058.rmeta: tests/optimizer_equivalence.rs Cargo.toml
+
+tests/optimizer_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

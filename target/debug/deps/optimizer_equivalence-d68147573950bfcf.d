@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_equivalence-d68147573950bfcf.d: tests/optimizer_equivalence.rs
+
+/root/repo/target/debug/deps/optimizer_equivalence-d68147573950bfcf: tests/optimizer_equivalence.rs
+
+tests/optimizer_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ouas-806fcfed8b586cc4.d: crates/isa/src/bin/ouas.rs
+
+/root/repo/target/debug/deps/ouas-806fcfed8b586cc4: crates/isa/src/bin/ouas.rs
+
+crates/isa/src/bin/ouas.rs:

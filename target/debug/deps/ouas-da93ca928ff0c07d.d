@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ouas-da93ca928ff0c07d.d: crates/isa/src/bin/ouas.rs
+
+/root/repo/target/debug/deps/ouas-da93ca928ff0c07d: crates/isa/src/bin/ouas.rs
+
+crates/isa/src/bin/ouas.rs:

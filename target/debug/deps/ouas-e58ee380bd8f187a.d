@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ouas-e58ee380bd8f187a.d: crates/isa/src/bin/ouas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouas-e58ee380bd8f187a.rmeta: crates/isa/src/bin/ouas.rs Cargo.toml
+
+crates/isa/src/bin/ouas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

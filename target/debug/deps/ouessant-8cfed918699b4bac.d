@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ouessant-8cfed918699b4bac.d: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs
+
+/root/repo/target/debug/deps/ouessant-8cfed918699b4bac: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs
+
+crates/core/src/lib.rs:
+crates/core/src/banks.rs:
+crates/core/src/controller.rs:
+crates/core/src/hls.rs:
+crates/core/src/interface.rs:
+crates/core/src/ocp.rs:
+crates/core/src/regs.rs:

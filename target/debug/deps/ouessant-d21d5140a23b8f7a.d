@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ouessant-d21d5140a23b8f7a.d: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs
+
+/root/repo/target/debug/deps/libouessant-d21d5140a23b8f7a.rlib: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs
+
+/root/repo/target/debug/deps/libouessant-d21d5140a23b8f7a.rmeta: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs
+
+crates/core/src/lib.rs:
+crates/core/src/banks.rs:
+crates/core/src/controller.rs:
+crates/core/src/hls.rs:
+crates/core/src/interface.rs:
+crates/core/src/ocp.rs:
+crates/core/src/regs.rs:

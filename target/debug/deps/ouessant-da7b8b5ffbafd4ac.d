@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ouessant-da7b8b5ffbafd4ac.d: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouessant-da7b8b5ffbafd4ac.rmeta: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/banks.rs:
+crates/core/src/controller.rs:
+crates/core/src/hls.rs:
+crates/core/src/interface.rs:
+crates/core/src/ocp.rs:
+crates/core/src/regs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

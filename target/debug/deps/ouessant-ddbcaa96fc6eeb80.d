@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ouessant-ddbcaa96fc6eeb80.d: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouessant-ddbcaa96fc6eeb80.rmeta: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/banks.rs:
+crates/core/src/controller.rs:
+crates/core/src/hls.rs:
+crates/core/src/interface.rs:
+crates/core/src/ocp.rs:
+crates/core/src/regs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

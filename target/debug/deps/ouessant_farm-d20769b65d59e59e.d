@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ouessant_farm-d20769b65d59e59e.d: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs
+
+/root/repo/target/debug/deps/ouessant_farm-d20769b65d59e59e: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs
+
+crates/farm/src/lib.rs:
+crates/farm/src/farm.rs:
+crates/farm/src/job.rs:
+crates/farm/src/policy.rs:
+crates/farm/src/queue.rs:
+crates/farm/src/stats.rs:
+crates/farm/src/worker.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ouessant_farm-d637057f798689ac.d: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouessant_farm-d637057f798689ac.rmeta: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs Cargo.toml
+
+crates/farm/src/lib.rs:
+crates/farm/src/farm.rs:
+crates/farm/src/job.rs:
+crates/farm/src/policy.rs:
+crates/farm/src/queue.rs:
+crates/farm/src/stats.rs:
+crates/farm/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

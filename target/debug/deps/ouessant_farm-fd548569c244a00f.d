@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ouessant_farm-fd548569c244a00f.d: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs
+
+/root/repo/target/debug/deps/libouessant_farm-fd548569c244a00f.rlib: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs
+
+/root/repo/target/debug/deps/libouessant_farm-fd548569c244a00f.rmeta: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs
+
+crates/farm/src/lib.rs:
+crates/farm/src/farm.rs:
+crates/farm/src/job.rs:
+crates/farm/src/policy.rs:
+crates/farm/src/queue.rs:
+crates/farm/src/stats.rs:
+crates/farm/src/worker.rs:

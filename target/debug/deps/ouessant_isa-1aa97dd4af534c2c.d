@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ouessant_isa-1aa97dd4af534c2c.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouessant_isa-1aa97dd4af534c2c.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instruction.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/operands.rs:
+crates/isa/src/opt.rs:
+crates/isa/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

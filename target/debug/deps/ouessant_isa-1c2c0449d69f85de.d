@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ouessant_isa-1c2c0449d69f85de.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/ouessant_isa-1c2c0449d69f85de: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instruction.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/operands.rs:
+crates/isa/src/opt.rs:
+crates/isa/src/program.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ouessant_isa-a45e07adfc890a9e.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libouessant_isa-a45e07adfc890a9e.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libouessant_isa-a45e07adfc890a9e.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instruction.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/operands.rs:
+crates/isa/src/opt.rs:
+crates/isa/src/program.rs:

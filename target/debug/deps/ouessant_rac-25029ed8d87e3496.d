@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ouessant_rac-25029ed8d87e3496.d: crates/rac/src/lib.rs crates/rac/src/block.rs crates/rac/src/dft.rs crates/rac/src/fir.rs crates/rac/src/fixed.rs crates/rac/src/idct.rs crates/rac/src/matmul.rs crates/rac/src/passthrough.rs crates/rac/src/rac.rs crates/rac/src/slot.rs
+
+/root/repo/target/debug/deps/libouessant_rac-25029ed8d87e3496.rlib: crates/rac/src/lib.rs crates/rac/src/block.rs crates/rac/src/dft.rs crates/rac/src/fir.rs crates/rac/src/fixed.rs crates/rac/src/idct.rs crates/rac/src/matmul.rs crates/rac/src/passthrough.rs crates/rac/src/rac.rs crates/rac/src/slot.rs
+
+/root/repo/target/debug/deps/libouessant_rac-25029ed8d87e3496.rmeta: crates/rac/src/lib.rs crates/rac/src/block.rs crates/rac/src/dft.rs crates/rac/src/fir.rs crates/rac/src/fixed.rs crates/rac/src/idct.rs crates/rac/src/matmul.rs crates/rac/src/passthrough.rs crates/rac/src/rac.rs crates/rac/src/slot.rs
+
+crates/rac/src/lib.rs:
+crates/rac/src/block.rs:
+crates/rac/src/dft.rs:
+crates/rac/src/fir.rs:
+crates/rac/src/fixed.rs:
+crates/rac/src/idct.rs:
+crates/rac/src/matmul.rs:
+crates/rac/src/passthrough.rs:
+crates/rac/src/rac.rs:
+crates/rac/src/slot.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ouessant_rac-ba9661ca969c9d74.d: crates/rac/src/lib.rs crates/rac/src/block.rs crates/rac/src/dft.rs crates/rac/src/fir.rs crates/rac/src/fixed.rs crates/rac/src/idct.rs crates/rac/src/matmul.rs crates/rac/src/passthrough.rs crates/rac/src/rac.rs crates/rac/src/slot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouessant_rac-ba9661ca969c9d74.rmeta: crates/rac/src/lib.rs crates/rac/src/block.rs crates/rac/src/dft.rs crates/rac/src/fir.rs crates/rac/src/fixed.rs crates/rac/src/idct.rs crates/rac/src/matmul.rs crates/rac/src/passthrough.rs crates/rac/src/rac.rs crates/rac/src/slot.rs Cargo.toml
+
+crates/rac/src/lib.rs:
+crates/rac/src/block.rs:
+crates/rac/src/dft.rs:
+crates/rac/src/fir.rs:
+crates/rac/src/fixed.rs:
+crates/rac/src/idct.rs:
+crates/rac/src/matmul.rs:
+crates/rac/src/passthrough.rs:
+crates/rac/src/rac.rs:
+crates/rac/src/slot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

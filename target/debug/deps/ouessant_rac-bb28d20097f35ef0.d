@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ouessant_rac-bb28d20097f35ef0.d: crates/rac/src/lib.rs crates/rac/src/block.rs crates/rac/src/dft.rs crates/rac/src/fir.rs crates/rac/src/fixed.rs crates/rac/src/idct.rs crates/rac/src/matmul.rs crates/rac/src/passthrough.rs crates/rac/src/rac.rs crates/rac/src/slot.rs
+
+/root/repo/target/debug/deps/ouessant_rac-bb28d20097f35ef0: crates/rac/src/lib.rs crates/rac/src/block.rs crates/rac/src/dft.rs crates/rac/src/fir.rs crates/rac/src/fixed.rs crates/rac/src/idct.rs crates/rac/src/matmul.rs crates/rac/src/passthrough.rs crates/rac/src/rac.rs crates/rac/src/slot.rs
+
+crates/rac/src/lib.rs:
+crates/rac/src/block.rs:
+crates/rac/src/dft.rs:
+crates/rac/src/fir.rs:
+crates/rac/src/fixed.rs:
+crates/rac/src/idct.rs:
+crates/rac/src/matmul.rs:
+crates/rac/src/passthrough.rs:
+crates/rac/src/rac.rs:
+crates/rac/src/slot.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ouessant_repro-24987ba41dca7674.d: src/lib.rs
+
+/root/repo/target/debug/deps/libouessant_repro-24987ba41dca7674.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libouessant_repro-24987ba41dca7674.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ouessant_repro-3c31345a8830e188.d: src/lib.rs
+
+/root/repo/target/debug/deps/ouessant_repro-3c31345a8830e188: src/lib.rs
+
+src/lib.rs:

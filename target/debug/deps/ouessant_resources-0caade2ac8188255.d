@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ouessant_resources-0caade2ac8188255.d: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs
+
+/root/repo/target/debug/deps/ouessant_resources-0caade2ac8188255: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs
+
+crates/resources/src/lib.rs:
+crates/resources/src/device.rs:
+crates/resources/src/estimate.rs:
+crates/resources/src/timing.rs:

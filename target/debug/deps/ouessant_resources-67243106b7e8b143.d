@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ouessant_resources-67243106b7e8b143.d: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouessant_resources-67243106b7e8b143.rmeta: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs Cargo.toml
+
+crates/resources/src/lib.rs:
+crates/resources/src/device.rs:
+crates/resources/src/estimate.rs:
+crates/resources/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ouessant_resources-eb3c9956138e89fe.d: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs
+
+/root/repo/target/debug/deps/libouessant_resources-eb3c9956138e89fe.rlib: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs
+
+/root/repo/target/debug/deps/libouessant_resources-eb3c9956138e89fe.rmeta: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs
+
+crates/resources/src/lib.rs:
+crates/resources/src/device.rs:
+crates/resources/src/estimate.rs:
+crates/resources/src/timing.rs:

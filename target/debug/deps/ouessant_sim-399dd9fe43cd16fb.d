@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ouessant_sim-399dd9fe43cd16fb.d: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs
+
+/root/repo/target/debug/deps/libouessant_sim-399dd9fe43cd16fb.rlib: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs
+
+/root/repo/target/debug/deps/libouessant_sim-399dd9fe43cd16fb.rmeta: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/axi.rs:
+crates/sim/src/bus.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/vcd.rs:

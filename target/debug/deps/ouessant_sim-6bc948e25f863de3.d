@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ouessant_sim-6bc948e25f863de3.d: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs
+
+/root/repo/target/debug/deps/ouessant_sim-6bc948e25f863de3: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/axi.rs:
+crates/sim/src/bus.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/vcd.rs:

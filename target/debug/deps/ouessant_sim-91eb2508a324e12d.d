@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ouessant_sim-91eb2508a324e12d.d: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouessant_sim-91eb2508a324e12d.rmeta: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/axi.rs:
+crates/sim/src/bus.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

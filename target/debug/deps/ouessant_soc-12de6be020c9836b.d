@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ouessant_soc-12de6be020c9836b.d: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libouessant_soc-12de6be020c9836b.rmeta: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs Cargo.toml
+
+crates/soc/src/lib.rs:
+crates/soc/src/alloc.rs:
+crates/soc/src/app.rs:
+crates/soc/src/cpu.rs:
+crates/soc/src/driver.rs:
+crates/soc/src/os.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/standalone.rs:
+crates/soc/src/sw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ouessant_soc-96267664e9126cf2.d: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs
+
+/root/repo/target/debug/deps/ouessant_soc-96267664e9126cf2: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/alloc.rs:
+crates/soc/src/app.rs:
+crates/soc/src/cpu.rs:
+crates/soc/src/driver.rs:
+crates/soc/src/os.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/standalone.rs:
+crates/soc/src/sw.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ouessant_soc-dd53e8dd0650fe91.d: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs
+
+/root/repo/target/debug/deps/libouessant_soc-dd53e8dd0650fe91.rlib: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs
+
+/root/repo/target/debug/deps/libouessant_soc-dd53e8dd0650fe91.rmeta: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/alloc.rs:
+crates/soc/src/app.rs:
+crates/soc/src/cpu.rs:
+crates/soc/src/driver.rs:
+crates/soc/src/os.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/standalone.rs:
+crates/soc/src/sw.rs:

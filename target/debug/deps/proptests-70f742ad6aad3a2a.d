@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-70f742ad6aad3a2a.d: crates/rac/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-70f742ad6aad3a2a.rmeta: crates/rac/tests/proptests.rs Cargo.toml
+
+crates/rac/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a88107df4a69cb11.d: crates/rac/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a88107df4a69cb11: crates/rac/tests/proptests.rs
+
+crates/rac/tests/proptests.rs:

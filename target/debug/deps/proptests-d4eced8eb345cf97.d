@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d4eced8eb345cf97.d: crates/isa/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d4eced8eb345cf97.rmeta: crates/isa/tests/proptests.rs Cargo.toml
+
+crates/isa/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

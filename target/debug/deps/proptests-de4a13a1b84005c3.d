@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-de4a13a1b84005c3.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-de4a13a1b84005c3: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fe7ac37bd4da6737.d: crates/isa/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fe7ac37bd4da6737: crates/isa/tests/proptests.rs
+
+crates/isa/tests/proptests.rs:

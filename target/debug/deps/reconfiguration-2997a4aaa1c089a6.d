@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconfiguration-2997a4aaa1c089a6.d: tests/reconfiguration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconfiguration-2997a4aaa1c089a6.rmeta: tests/reconfiguration.rs Cargo.toml
+
+tests/reconfiguration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

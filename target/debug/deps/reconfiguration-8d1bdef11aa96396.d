@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfiguration-8d1bdef11aa96396.d: tests/reconfiguration.rs
+
+/root/repo/target/debug/deps/reconfiguration-8d1bdef11aa96396: tests/reconfiguration.rs
+
+tests/reconfiguration.rs:

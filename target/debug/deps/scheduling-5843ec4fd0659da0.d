@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling-5843ec4fd0659da0.d: crates/farm/tests/scheduling.rs
+
+/root/repo/target/debug/deps/scheduling-5843ec4fd0659da0: crates/farm/tests/scheduling.rs
+
+crates/farm/tests/scheduling.rs:

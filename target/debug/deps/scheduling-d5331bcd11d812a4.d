@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling-d5331bcd11d812a4.d: crates/farm/tests/scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling-d5331bcd11d812a4.rmeta: crates/farm/tests/scheduling.rs Cargo.toml
+
+crates/farm/tests/scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

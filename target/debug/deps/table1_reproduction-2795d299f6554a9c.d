@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_reproduction-2795d299f6554a9c.d: tests/table1_reproduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_reproduction-2795d299f6554a9c.rmeta: tests/table1_reproduction.rs Cargo.toml
+
+tests/table1_reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_reproduction-d7d7e6b5c41a67e9.d: tests/table1_reproduction.rs
+
+/root/repo/target/debug/deps/table1_reproduction-d7d7e6b5c41a67e9: tests/table1_reproduction.rs
+
+tests/table1_reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/farm_demo-1b9d00f1b3ce380d.d: examples/farm_demo.rs
+
+/root/repo/target/debug/examples/farm_demo-1b9d00f1b3ce380d: examples/farm_demo.rs
+
+examples/farm_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/farm_demo-b4ca1219c3270510.d: examples/farm_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfarm_demo-b4ca1219c3270510.rmeta: examples/farm_demo.rs Cargo.toml
+
+examples/farm_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hls_codegen-b69e5154f52b58ff.d: examples/hls_codegen.rs
+
+/root/repo/target/debug/examples/hls_codegen-b69e5154f52b58ff: examples/hls_codegen.rs
+
+examples/hls_codegen.rs:

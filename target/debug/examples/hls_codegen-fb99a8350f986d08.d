@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hls_codegen-fb99a8350f986d08.d: examples/hls_codegen.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhls_codegen-fb99a8350f986d08.rmeta: examples/hls_codegen.rs Cargo.toml
+
+examples/hls_codegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

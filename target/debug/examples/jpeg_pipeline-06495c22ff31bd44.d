@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/jpeg_pipeline-06495c22ff31bd44.d: examples/jpeg_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjpeg_pipeline-06495c22ff31bd44.rmeta: examples/jpeg_pipeline.rs Cargo.toml
+
+examples/jpeg_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

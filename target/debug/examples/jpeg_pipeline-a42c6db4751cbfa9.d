@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/jpeg_pipeline-a42c6db4751cbfa9.d: examples/jpeg_pipeline.rs
+
+/root/repo/target/debug/examples/jpeg_pipeline-a42c6db4751cbfa9: examples/jpeg_pipeline.rs
+
+examples/jpeg_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-22bbd3fc07e0260b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-22bbd3fc07e0260b: examples/quickstart.rs
+
+examples/quickstart.rs:

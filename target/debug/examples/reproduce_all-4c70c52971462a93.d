@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproduce_all-4c70c52971462a93.d: examples/reproduce_all.rs
+
+/root/repo/target/debug/examples/reproduce_all-4c70c52971462a93: examples/reproduce_all.rs
+
+examples/reproduce_all.rs:

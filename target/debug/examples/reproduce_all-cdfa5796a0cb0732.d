@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reproduce_all-cdfa5796a0cb0732.d: examples/reproduce_all.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreproduce_all-cdfa5796a0cb0732.rmeta: examples/reproduce_all.rs Cargo.toml
+
+examples/reproduce_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

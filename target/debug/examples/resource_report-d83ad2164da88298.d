@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resource_report-d83ad2164da88298.d: examples/resource_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresource_report-d83ad2164da88298.rmeta: examples/resource_report.rs Cargo.toml
+
+examples/resource_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

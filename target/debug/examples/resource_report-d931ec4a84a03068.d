@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_report-d931ec4a84a03068.d: examples/resource_report.rs
+
+/root/repo/target/debug/examples/resource_report-d931ec4a84a03068: examples/resource_report.rs
+
+examples/resource_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sdr_dft-232b1c9568d86cbe.d: examples/sdr_dft.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsdr_dft-232b1c9568d86cbe.rmeta: examples/sdr_dft.rs Cargo.toml
+
+examples/sdr_dft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sdr_dft-f4e2012d06465599.d: examples/sdr_dft.rs
+
+/root/repo/target/debug/examples/sdr_dft-f4e2012d06465599: examples/sdr_dft.rs
+
+examples/sdr_dft.rs:

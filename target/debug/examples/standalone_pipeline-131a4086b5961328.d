@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/standalone_pipeline-131a4086b5961328.d: examples/standalone_pipeline.rs
+
+/root/repo/target/debug/examples/standalone_pipeline-131a4086b5961328: examples/standalone_pipeline.rs
+
+examples/standalone_pipeline.rs:

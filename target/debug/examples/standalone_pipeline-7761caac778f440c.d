@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/standalone_pipeline-7761caac778f440c.d: examples/standalone_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstandalone_pipeline-7761caac778f440c.rmeta: examples/standalone_pipeline.rs Cargo.toml
+
+examples/standalone_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/table1-131a51c07e873784.d: examples/table1.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtable1-131a51c07e873784.rmeta: examples/table1.rs Cargo.toml
+
+examples/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

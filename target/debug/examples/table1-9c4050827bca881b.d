@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table1-9c4050827bca881b.d: examples/table1.rs
+
+/root/repo/target/debug/examples/table1-9c4050827bca881b: examples/table1.rs
+
+examples/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform-9f12a3c02a85e86b.d: examples/waveform.rs
+
+/root/repo/target/debug/examples/waveform-9f12a3c02a85e86b: examples/waveform.rs
+
+examples/waveform.rs:

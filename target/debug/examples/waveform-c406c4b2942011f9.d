@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/waveform-c406c4b2942011f9.d: examples/waveform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwaveform-c406c4b2942011f9.rmeta: examples/waveform.rs Cargo.toml
+
+examples/waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

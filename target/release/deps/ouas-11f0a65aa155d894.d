@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ouas-11f0a65aa155d894.d: crates/isa/src/bin/ouas.rs
+
+/root/repo/target/release/deps/ouas-11f0a65aa155d894: crates/isa/src/bin/ouas.rs
+
+crates/isa/src/bin/ouas.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ouessant-b49c814829611e31.d: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs
+
+/root/repo/target/release/deps/libouessant-b49c814829611e31.rlib: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs
+
+/root/repo/target/release/deps/libouessant-b49c814829611e31.rmeta: crates/core/src/lib.rs crates/core/src/banks.rs crates/core/src/controller.rs crates/core/src/hls.rs crates/core/src/interface.rs crates/core/src/ocp.rs crates/core/src/regs.rs
+
+crates/core/src/lib.rs:
+crates/core/src/banks.rs:
+crates/core/src/controller.rs:
+crates/core/src/hls.rs:
+crates/core/src/interface.rs:
+crates/core/src/ocp.rs:
+crates/core/src/regs.rs:

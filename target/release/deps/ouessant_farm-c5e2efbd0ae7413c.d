@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ouessant_farm-c5e2efbd0ae7413c.d: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs
+
+/root/repo/target/release/deps/libouessant_farm-c5e2efbd0ae7413c.rlib: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs
+
+/root/repo/target/release/deps/libouessant_farm-c5e2efbd0ae7413c.rmeta: crates/farm/src/lib.rs crates/farm/src/farm.rs crates/farm/src/job.rs crates/farm/src/policy.rs crates/farm/src/queue.rs crates/farm/src/stats.rs crates/farm/src/worker.rs
+
+crates/farm/src/lib.rs:
+crates/farm/src/farm.rs:
+crates/farm/src/job.rs:
+crates/farm/src/policy.rs:
+crates/farm/src/queue.rs:
+crates/farm/src/stats.rs:
+crates/farm/src/worker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ouessant_isa-93a1d8c43f5ed7fc.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/libouessant_isa-93a1d8c43f5ed7fc.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/libouessant_isa-93a1d8c43f5ed7fc.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/instruction.rs crates/isa/src/opcode.rs crates/isa/src/operands.rs crates/isa/src/opt.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instruction.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/operands.rs:
+crates/isa/src/opt.rs:
+crates/isa/src/program.rs:

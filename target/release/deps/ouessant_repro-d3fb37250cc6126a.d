@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ouessant_repro-d3fb37250cc6126a.d: src/lib.rs
+
+/root/repo/target/release/deps/libouessant_repro-d3fb37250cc6126a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libouessant_repro-d3fb37250cc6126a.rmeta: src/lib.rs
+
+src/lib.rs:

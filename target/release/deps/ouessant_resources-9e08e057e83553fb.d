@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ouessant_resources-9e08e057e83553fb.d: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs
+
+/root/repo/target/release/deps/libouessant_resources-9e08e057e83553fb.rlib: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs
+
+/root/repo/target/release/deps/libouessant_resources-9e08e057e83553fb.rmeta: crates/resources/src/lib.rs crates/resources/src/device.rs crates/resources/src/estimate.rs crates/resources/src/timing.rs
+
+crates/resources/src/lib.rs:
+crates/resources/src/device.rs:
+crates/resources/src/estimate.rs:
+crates/resources/src/timing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ouessant_sim-493ce960defa00f5.d: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs
+
+/root/repo/target/release/deps/libouessant_sim-493ce960defa00f5.rlib: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs
+
+/root/repo/target/release/deps/libouessant_sim-493ce960defa00f5.rmeta: crates/sim/src/lib.rs crates/sim/src/axi.rs crates/sim/src/bus.rs crates/sim/src/clock.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/rng.rs crates/sim/src/trace.rs crates/sim/src/vcd.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/axi.rs:
+crates/sim/src/bus.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/vcd.rs:

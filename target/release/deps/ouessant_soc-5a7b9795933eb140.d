@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ouessant_soc-5a7b9795933eb140.d: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs
+
+/root/repo/target/release/deps/libouessant_soc-5a7b9795933eb140.rlib: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs
+
+/root/repo/target/release/deps/libouessant_soc-5a7b9795933eb140.rmeta: crates/soc/src/lib.rs crates/soc/src/alloc.rs crates/soc/src/app.rs crates/soc/src/cpu.rs crates/soc/src/driver.rs crates/soc/src/os.rs crates/soc/src/soc.rs crates/soc/src/standalone.rs crates/soc/src/sw.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/alloc.rs:
+crates/soc/src/app.rs:
+crates/soc/src/cpu.rs:
+crates/soc/src/driver.rs:
+crates/soc/src/os.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/standalone.rs:
+crates/soc/src/sw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/farm_demo-c859f051a1c277b5.d: examples/farm_demo.rs
+
+/root/repo/target/release/examples/farm_demo-c859f051a1c277b5: examples/farm_demo.rs
+
+examples/farm_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/farm_probe-9aa31890d9b052ee.d: examples/farm_probe.rs
+
+/root/repo/target/release/examples/farm_probe-9aa31890d9b052ee: examples/farm_probe.rs
+
+examples/farm_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/table1-9bf432c6b95ff1d5.d: examples/table1.rs
+
+/root/repo/target/release/examples/table1-9bf432c6b95ff1d5: examples/table1.rs
+
+examples/table1.rs:

@@ -20,19 +20,22 @@ const OCP_BASE: u32 = 0x8000_0000;
 /// Runs the identical offload on any `SystemBus` implementation and
 /// returns (output words, cycles).
 fn run_on(bus: &mut dyn SystemBus, coeffs: &[i32]) -> (Vec<i32>, u64) {
-    bus.add_slave_boxed(
-        RAM,
-        Box::new(Sram::with_words(8192, SramConfig::no_wait())),
+    bus.add_slave_boxed(RAM, Box::new(Sram::with_words(8192, SramConfig::no_wait())));
+    let mut ocp = Ocp::attach(
+        bus,
+        OCP_BASE,
+        Box::new(IdctRac::new()),
+        OcpConfig::default(),
     );
-    let mut ocp = Ocp::attach(bus, OCP_BASE, Box::new(IdctRac::new()), OcpConfig::default());
 
-    let program = assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs\nmvfc BANK2,0,DMA64,FIFO0\neop")
-        .unwrap();
+    let program =
+        assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs\nmvfc BANK2,0,DMA64,FIFO0\neop").unwrap();
     for (i, w) in program.to_words().iter().enumerate() {
         bus.debug_write(RAM + (i as u32) * 4, *w).unwrap();
     }
     for (i, &c) in coeffs.iter().enumerate() {
-        bus.debug_write(RAM + 0x1000 + (i as u32) * 4, c as u32).unwrap();
+        bus.debug_write(RAM + 0x1000 + (i as u32) * 4, c as u32)
+            .unwrap();
     }
     ocp.regs().set_bank(0, RAM).unwrap();
     ocp.regs().set_bank(1, RAM + 0x1000).unwrap();
@@ -75,7 +78,10 @@ fn same_ocp_runs_on_ahb_and_axi() {
     // of magnitude (the data path dominates).
     assert!(ahb_cycles > 0 && axi_cycles > 0);
     let ratio = ahb_cycles as f64 / axi_cycles as f64;
-    assert!((0.3..=3.0).contains(&ratio), "AHB {ahb_cycles} vs AXI {axi_cycles}");
+    assert!(
+        (0.3..=3.0).contains(&ratio),
+        "AHB {ahb_cycles} vs AXI {axi_cycles}"
+    );
 }
 
 #[test]
@@ -99,10 +105,7 @@ fn axi_concurrent_channels_speed_up_split_traffic() {
     .unwrap();
 
     let run = |bus: &mut dyn SystemBus| -> u64 {
-        bus.add_slave_boxed(
-            RAM,
-            Box::new(Sram::with_words(8192, SramConfig::no_wait())),
-        );
+        bus.add_slave_boxed(RAM, Box::new(Sram::with_words(8192, SramConfig::no_wait())));
         let mut ocp = Ocp::attach(
             bus,
             OCP_BASE,

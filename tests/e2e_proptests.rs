@@ -1,13 +1,15 @@
-//! Cross-crate property tests: whole-system invariants over random
-//! workloads, microcode shapes and platform parameters.
-
-use proptest::prelude::*;
+//! Cross-crate randomized invariant tests: whole-system invariants over
+//! random workloads, microcode shapes and platform parameters.
+//!
+//! Formerly `proptest` properties; now driven by the in-repo seeded
+//! generator so the workspace tests fully offline.
 
 use ouessant_isa::ProgramBuilder;
 use ouessant_rac::dft::{dft_fixed, DftRac};
 use ouessant_rac::idct::{idct_2d_fixed, IdctRac};
 use ouessant_rac::passthrough::PassthroughRac;
 use ouessant_sim::memory::SramConfig;
+use ouessant_sim::rng::XorShift64;
 use ouessant_soc::soc::{CompletionMode, Soc, SocConfig};
 
 fn run_passthrough(
@@ -45,95 +47,107 @@ fn run_passthrough(
     (out, report.machine_cycles())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any data moved through the OCP with any burst size arrives
-    /// intact and in order (DMA correctness).
-    #[test]
-    fn passthrough_offload_is_identity(
-        words in prop::collection::vec(any::<u32>(), 1..600),
-        burst in 1u16..=256,
-    ) {
+/// Any data moved through the OCP with any burst size arrives intact
+/// and in order (DMA correctness).
+#[test]
+fn passthrough_offload_is_identity() {
+    let mut rng = XorShift64::new(0xE2E_0001);
+    for _ in 0..16 {
+        let n = rng.gen_range_u32(1..600) as usize;
+        let words = rng.vec_u32(n);
+        let burst = rng.gen_range_u32(1..257) as u16;
         let (out, _) = run_passthrough(
             &words,
             burst,
             SramConfig::no_wait(),
             CompletionMode::Interrupt,
         );
-        prop_assert_eq!(out, words);
+        assert_eq!(out, words, "burst={burst}");
     }
+}
 
-    /// Functional results are independent of memory wait states and
-    /// completion mode — timing parameters must never change data.
-    #[test]
-    fn timing_parameters_do_not_change_data(
-        words in prop::collection::vec(any::<u32>(), 1..200),
-        first_ws in 0u32..8,
-        seq_ws in 0u32..3,
-        poll_interval in prop::option::of(16u64..512),
-    ) {
+/// Functional results are independent of memory wait states and
+/// completion mode — timing parameters must never change data.
+#[test]
+fn timing_parameters_do_not_change_data() {
+    let mut rng = XorShift64::new(0xE2E_0002);
+    for _ in 0..12 {
+        let n = rng.gen_range_u32(1..200) as usize;
+        let words = rng.vec_u32(n);
         let sram = SramConfig {
-            first_access_wait_states: first_ws,
-            sequential_wait_states: seq_ws,
+            first_access_wait_states: rng.gen_range_u32(0..8),
+            sequential_wait_states: rng.gen_range_u32(0..3),
         };
-        let completion = match poll_interval {
-            Some(interval) => CompletionMode::Polling { interval },
-            None => CompletionMode::Interrupt,
+        let completion = if rng.gen_bool() {
+            CompletionMode::Polling {
+                interval: rng.gen_range_u64(16..512),
+            }
+        } else {
+            CompletionMode::Interrupt
         };
         let (out, _) = run_passthrough(&words, 32, sram, completion);
-        prop_assert_eq!(&out, &words);
+        assert_eq!(&out, &words);
         // And the reference configuration agrees.
-        let (reference, _) = run_passthrough(
-            &words,
-            32,
-            SramConfig::no_wait(),
-            CompletionMode::Interrupt,
-        );
-        prop_assert_eq!(out, reference);
+        let (reference, _) =
+            run_passthrough(&words, 32, SramConfig::no_wait(), CompletionMode::Interrupt);
+        assert_eq!(out, reference);
     }
+}
 
-    /// More wait states can only slow the offload down (monotonicity of
-    /// the timing model).
-    #[test]
-    fn wait_states_are_monotone(
-        words in prop::collection::vec(any::<u32>(), 32..256),
-    ) {
+/// More wait states can only slow the offload down (monotonicity of
+/// the timing model).
+#[test]
+fn wait_states_are_monotone() {
+    let mut rng = XorShift64::new(0xE2E_0003);
+    for _ in 0..8 {
+        let n = rng.gen_range_u32(32..256) as usize;
+        let words = rng.vec_u32(n);
         let cycles_at = |ws: u32| {
             run_passthrough(
                 &words,
                 64,
-                SramConfig { first_access_wait_states: ws, sequential_wait_states: 0 },
+                SramConfig {
+                    first_access_wait_states: ws,
+                    sequential_wait_states: 0,
+                },
                 CompletionMode::Interrupt,
-            ).1
+            )
+            .1
         };
         let fast = cycles_at(0);
         let medium = cycles_at(3);
         let slow = cycles_at(7);
-        prop_assert!(fast <= medium && medium <= slow, "{fast} {medium} {slow}");
+        assert!(fast <= medium && medium <= slow, "{fast} {medium} {slow}");
     }
+}
 
-    /// The offloaded IDCT equals the data-path function for arbitrary
-    /// JPEG-range blocks (hardware integration adds nothing and loses
-    /// nothing).
-    #[test]
-    fn idct_offload_matches_function(
-        coeffs in prop::collection::vec(-2048i32..2048, 64),
-    ) {
+/// The offloaded IDCT equals the data-path function for arbitrary
+/// JPEG-range blocks (hardware integration adds nothing and loses
+/// nothing).
+#[test]
+fn idct_offload_matches_function() {
+    let mut rng = XorShift64::new(0xE2E_0004);
+    for _ in 0..12 {
+        let coeffs: Vec<i32> = (0..64).map(|_| rng.gen_range_i32(-2048..2048)).collect();
         let mut soc = Soc::new(Box::new(IdctRac::new()), SocConfig::default());
         let ram = soc.config().ram_base;
         let program = ProgramBuilder::new()
-            .mvtc(1, 0, 64, 0).unwrap()
+            .mvtc(1, 0, 64, 0)
+            .unwrap()
             .execs()
-            .mvfc(2, 0, 64, 0).unwrap()
+            .mvfc(2, 0, 64, 0)
+            .unwrap()
             .eop()
             .finish()
             .unwrap();
         soc.load_words(ram, &program.to_words()).unwrap();
         let words: Vec<u32> = coeffs.iter().map(|&c| c as u32).collect();
         soc.load_words(ram + 0x4000, &words).unwrap();
-        soc.configure(&[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)], program.len() as u32)
-            .unwrap();
+        soc.configure(
+            &[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)],
+            program.len() as u32,
+        )
+        .unwrap();
         soc.start_and_wait(1_000_000).unwrap();
         let out: Vec<i32> = soc
             .read_words(ram + 0x8000, 64)
@@ -141,23 +155,34 @@ proptest! {
             .into_iter()
             .map(|w| w as i32)
             .collect();
-        prop_assert_eq!(out, idct_2d_fixed(&coeffs));
+        assert_eq!(out, idct_2d_fixed(&coeffs));
     }
+}
 
-    /// The offloaded DFT equals the data-path function for arbitrary
-    /// Q15 inputs.
-    #[test]
-    fn dft_offload_matches_function(
-        samples in prop::collection::vec((-32768i32..32768, -32768i32..32768), 16),
-    ) {
+/// The offloaded DFT equals the data-path function for arbitrary Q15
+/// inputs.
+#[test]
+fn dft_offload_matches_function() {
+    let mut rng = XorShift64::new(0xE2E_0005);
+    for _ in 0..12 {
+        let samples: Vec<(i32, i32)> = (0..16)
+            .map(|_| {
+                (
+                    rng.gen_range_i32(-32768..32768),
+                    rng.gen_range_i32(-32768..32768),
+                )
+            })
+            .collect();
         let n = samples.len();
         let mut soc = Soc::new(Box::new(DftRac::new(n)), SocConfig::default());
         let ram = soc.config().ram_base;
         let words_each_way = (n * 2) as u32;
         let program = ProgramBuilder::new()
-            .transfer_to_coprocessor(1, 0, words_each_way, 16, 0).unwrap()
+            .transfer_to_coprocessor(1, 0, words_each_way, 16, 0)
+            .unwrap()
             .execs()
-            .transfer_from_coprocessor(2, 0, words_each_way, 16, 0).unwrap()
+            .transfer_from_coprocessor(2, 0, words_each_way, 16, 0)
+            .unwrap()
             .eop()
             .finish()
             .unwrap();
@@ -167,14 +192,17 @@ proptest! {
             .flat_map(|&(re, im)| [re as u32, im as u32])
             .collect();
         soc.load_words(ram + 0x4000, &words).unwrap();
-        soc.configure(&[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)], program.len() as u32)
-            .unwrap();
+        soc.configure(
+            &[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)],
+            program.len() as u32,
+        )
+        .unwrap();
         soc.start_and_wait(1_000_000).unwrap();
         let out = soc.read_words(ram + 0x8000, words.len()).unwrap();
         let expected: Vec<u32> = dft_fixed(&samples)
             .into_iter()
             .flat_map(|(re, im)| [re as u32, im as u32])
             .collect();
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected);
     }
 }

@@ -92,7 +92,7 @@ fn burst_crossing_memory_end_faults() {
 fn missing_terminator_overruns_and_faults() {
     let (mut bus, mut ocp) = fixture();
     // Hand-encode a program without eop (the assembler would refuse).
-    let words = vec![ouessant_isa::Instruction::Nop.encode()];
+    let words = [ouessant_isa::Instruction::Nop.encode()];
     for (i, w) in words.iter().enumerate() {
         bus.debug_write(RAM + (i as u32) * 4, *w).unwrap();
     }

@@ -26,7 +26,12 @@ fn two_ocps_share_one_bus_and_run_concurrently() {
 
     // OCP A: IDCT. OCP B: passthrough copy. Different programs,
     // different banks, same bus.
-    let mut ocp_a = Ocp::attach(&mut bus, OCP_A, Box::new(IdctRac::new()), OcpConfig::default());
+    let mut ocp_a = Ocp::attach(
+        &mut bus,
+        OCP_A,
+        Box::new(IdctRac::new()),
+        OcpConfig::default(),
+    );
     let mut ocp_b = Ocp::attach(
         &mut bus,
         OCP_B,
@@ -34,10 +39,10 @@ fn two_ocps_share_one_bus_and_run_concurrently() {
         OcpConfig::default(),
     );
 
-    let prog_a = assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs\nmvfc BANK2,0,DMA64,FIFO0\neop")
-        .unwrap();
-    let prog_b = assemble("mvtc BANK1,0,DMA32,FIFO0\nexecs 32\nmvfc BANK2,0,DMA32,FIFO0\neop")
-        .unwrap();
+    let prog_a =
+        assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs\nmvfc BANK2,0,DMA64,FIFO0\neop").unwrap();
+    let prog_b =
+        assemble("mvtc BANK1,0,DMA32,FIFO0\nexecs 32\nmvfc BANK2,0,DMA32,FIFO0\neop").unwrap();
 
     // Memory layout: programs at 0x0000/0x1000, A data at 0x2000/0x3000,
     // B data at 0x4000/0x5000 (byte offsets from RAM).
@@ -49,10 +54,12 @@ fn two_ocps_share_one_bus_and_run_concurrently() {
     }
     let coeffs: Vec<i32> = (0..64).map(|i| (i * 97 % 601) - 300).collect();
     for (i, &c) in coeffs.iter().enumerate() {
-        bus.debug_write(RAM + 0x2000 + (i as u32) * 4, c as u32).unwrap();
+        bus.debug_write(RAM + 0x2000 + (i as u32) * 4, c as u32)
+            .unwrap();
     }
     for i in 0..32u32 {
-        bus.debug_write(RAM + 0x4000 + i * 4, 0xB000_0000 + i).unwrap();
+        bus.debug_write(RAM + 0x4000 + i * 4, 0xB000_0000 + i)
+            .unwrap();
     }
 
     ocp_a.regs().set_bank(0, RAM).unwrap();
@@ -127,14 +134,15 @@ fn cpu_computes_while_ocp_runs() {
         OcpConfig::default(),
     );
 
-    let program = assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs 64\nmvfc BANK2,0,DMA64,FIFO0\neop")
-        .unwrap();
+    let program =
+        assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs 64\nmvfc BANK2,0,DMA64,FIFO0\neop").unwrap();
     for (i, w) in program.to_words().iter().enumerate() {
         bus.debug_write(RAM + (i as u32) * 4, *w).unwrap();
     }
     for i in 0..64u32 {
         bus.debug_write(RAM + 0x2000 + i * 4, i + 1).unwrap();
-        bus.debug_write(RAM + 0x6000 + i * 4, 0xCAFE_0000 + i).unwrap(); // CPU's buffer
+        bus.debug_write(RAM + 0x6000 + i * 4, 0xCAFE_0000 + i)
+            .unwrap(); // CPU's buffer
     }
     ocp.regs().set_bank(0, RAM).unwrap();
     ocp.regs().set_bank(1, RAM + 0x2000).unwrap();
@@ -155,31 +163,26 @@ fn cpu_computes_while_ocp_runs() {
         assert!(cycles < 1_000_000);
         assert!(ocp.fault().is_none());
         match cpu_state {
-            0 if copied < 64 => {
-                if bus
+            0 if copied < 64
+                && bus
                     .try_begin(cpu, TxnRequest::read_word(RAM + 0x6000 + copied * 4))
-                    .is_ok()
-                {
-                    cpu_state = 1;
-                }
+                    .is_ok() =>
+            {
+                cpu_state = 1;
             }
-            1 => {
-                if bus.poll(cpu) == PortState::Complete {
-                    pending_value = bus.take_completion(cpu).unwrap().unwrap().data[0];
-                    bus.try_begin(
-                        cpu,
-                        TxnRequest::write_word(RAM + 0x7000 + copied * 4, pending_value),
-                    )
-                    .unwrap();
-                    cpu_state = 2;
-                }
+            1 if bus.poll(cpu) == PortState::Complete => {
+                pending_value = bus.take_completion(cpu).unwrap().unwrap().data[0];
+                bus.try_begin(
+                    cpu,
+                    TxnRequest::write_word(RAM + 0x7000 + copied * 4, pending_value),
+                )
+                .unwrap();
+                cpu_state = 2;
             }
-            2 => {
-                if bus.poll(cpu) == PortState::Complete {
-                    bus.take_completion(cpu).unwrap().unwrap();
-                    copied += 1;
-                    cpu_state = 0;
-                }
+            2 if bus.poll(cpu) == PortState::Complete => {
+                bus.take_completion(cpu).unwrap().unwrap();
+                copied += 1;
+                cpu_state = 0;
             }
             _ => {}
         }

@@ -47,8 +47,11 @@ fn rcfg_swaps_accelerators_mid_program() {
     let mut input: Vec<u32> = coeffs.iter().map(|&c| c as u32).collect();
     input.extend(&plain);
     soc.load_words(ram + 0x4000, &input).unwrap();
-    soc.configure(&[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)], program.len() as u32)
-        .unwrap();
+    soc.configure(
+        &[(0, ram), (1, ram + 0x4000), (2, ram + 0x8000)],
+        program.len() as u32,
+    )
+    .unwrap();
     let report = soc.start_and_wait(10_000_000).unwrap();
 
     // Phase 1 output: the IDCT of the coefficients.
@@ -79,7 +82,10 @@ fn rcfg_on_static_rac_faults() {
     soc.load_words(ram, &program.to_words()).unwrap();
     soc.configure(&[(0, ram)], program.len() as u32).unwrap();
     match soc.start_and_wait(100_000) {
-        Err(SocError::Ocp(ExecError::Reconfig { slot: 1, available: 0 })) => {}
+        Err(SocError::Ocp(ExecError::Reconfig {
+            slot: 1,
+            available: 0,
+        })) => {}
         other => panic!("expected reconfig fault, got {other:?}"),
     }
 }
@@ -92,7 +98,10 @@ fn rcfg_bad_slot_faults_with_available_count() {
     soc.load_words(ram, &program.to_words()).unwrap();
     soc.configure(&[(0, ram)], program.len() as u32).unwrap();
     match soc.start_and_wait(100_000) {
-        Err(SocError::Ocp(ExecError::Reconfig { slot: 9, available: 2 })) => {}
+        Err(SocError::Ocp(ExecError::Reconfig {
+            slot: 9,
+            available: 2,
+        })) => {}
         other => panic!("expected bad-slot fault, got {other:?}"),
     }
 }

@@ -3,15 +3,25 @@
 //! values.
 
 use ouessant_rac::dft::dft_latency;
-use ouessant_soc::app::{dft_experiment, idct_experiment, table1, transfer_experiment, ExperimentConfig};
+use ouessant_soc::app::{
+    dft_experiment, idct_experiment, table1, transfer_experiment, ExperimentConfig,
+};
 use ouessant_soc::os::OsModel;
 
 #[test]
 fn table1_idct_row() {
     let row = idct_experiment(&ExperimentConfig::paper_linux()).unwrap();
     assert_eq!(row.latency, 18, "Lat. column is the pipeline latency");
-    assert!((2_000..=4_500).contains(&row.hw_cycles), "HW {} ~ 3000", row.hw_cycles);
-    assert!((3_500..=6_500).contains(&row.sw_cycles), "SW {} ~ 5000", row.sw_cycles);
+    assert!(
+        (2_000..=4_500).contains(&row.hw_cycles),
+        "HW {} ~ 3000",
+        row.hw_cycles
+    );
+    assert!(
+        (3_500..=6_500).contains(&row.sw_cycles),
+        "SW {} ~ 5000",
+        row.sw_cycles
+    );
     assert!((1.2..=2.2).contains(&row.gain), "Gain {} ~ 1.67", row.gain);
 }
 
@@ -19,7 +29,11 @@ fn table1_idct_row() {
 fn table1_dft_row() {
     let row = dft_experiment(&ExperimentConfig::paper_linux()).unwrap();
     assert_eq!(row.latency, 2_485, "Lat. column matches the Spiral core");
-    assert!((5_500..=8_500).contains(&row.hw_cycles), "HW {} ~ 7000", row.hw_cycles);
+    assert!(
+        (5_500..=8_500).contains(&row.hw_cycles),
+        "HW {} ~ 7000",
+        row.hw_cycles
+    );
     assert!(
         (450_000..=750_000).contains(&row.sw_cycles),
         "SW {} ~ 600k",
@@ -34,8 +48,14 @@ fn table1_orderings() {
     let (idct, dft) = (&rows[0], &rows[1]);
     // Who wins and by what factor: the qualitative content of Table I.
     assert!(idct.gain > 1.0, "hardware wins even for the tiny IDCT");
-    assert!(dft.gain > 30.0 * idct.gain / 1.67, "DFT gain is ~50x larger");
-    assert!(dft.sw_cycles > 100 * idct.sw_cycles, "SW DFT dwarfs SW IDCT");
+    assert!(
+        dft.gain > 30.0 * idct.gain / 1.67,
+        "DFT gain is ~50x larger"
+    );
+    assert!(
+        dft.sw_cycles > 100 * idct.sw_cycles,
+        "SW DFT dwarfs SW IDCT"
+    );
     assert!(dft.latency > 100 * idct.latency);
 }
 
@@ -54,7 +74,10 @@ fn text_linux_overhead_3000() {
     let bare = dft_experiment(&ExperimentConfig::paper_baremetal()).unwrap();
     let linux = dft_experiment(&ExperimentConfig::paper_linux()).unwrap();
     let overhead = linux.hw_cycles - bare.hw_cycles;
-    assert!((2_500..=3_500).contains(&overhead), "overhead {overhead} ~ 3000");
+    assert!(
+        (2_500..=3_500).contains(&overhead),
+        "overhead {overhead} ~ 3000"
+    );
 }
 
 #[test]
@@ -67,7 +90,10 @@ fn text_1024_words_at_1_5_cycles() {
         "transfer {transfer} ~ 1500 cycles"
     );
     let per_word = transfer as f64 / row.words as f64;
-    assert!((1.0..=2.0).contains(&per_word), "{per_word:.2} ~ 1.5 cy/word");
+    assert!(
+        (1.0..=2.0).contains(&per_word),
+        "{per_word:.2} ~ 1.5 cy/word"
+    );
 }
 
 #[test]
@@ -105,8 +131,14 @@ fn burst_length_matters() {
     let dma8 = at(8);
     let dma64 = at(64);
     let dma256 = at(256);
-    assert!(dma8 > dma64, "short bursts repay overheads: {dma8:.2} vs {dma64:.2}");
-    assert!(dma64 >= dma256, "longer bursts only help: {dma64:.2} vs {dma256:.2}");
+    assert!(
+        dma8 > dma64,
+        "short bursts repay overheads: {dma8:.2} vs {dma64:.2}"
+    );
+    assert!(
+        dma64 >= dma256,
+        "longer bursts only help: {dma64:.2} vs {dma256:.2}"
+    );
 }
 
 #[test]
