@@ -4,15 +4,17 @@
 use std::error::Error;
 use std::fmt;
 
+use ouessant_isa::operands::MAX_PROGRAM_LEN;
 use ouessant_sim::bus::{Bus, BusConfig};
 use ouessant_sim::memory::{Sram, SramConfig};
 use ouessant_soc::alloc::{AllocError, BankAllocator};
+use ouessant_verify::{verify, VerifyConfig};
 
 use crate::job::{JobId, JobKind, JobRecord, JobSpec};
 use crate::policy::{SchedPolicy, WorkerView};
 use crate::queue::{SubmitError, SubmitQueue};
 use crate::stats::{FarmReport, WorkerReport};
-use crate::worker::{build_program, JobRegions, Worker};
+use crate::worker::{adapt_custom_program, build_program, JobRegions, Worker};
 
 /// Static farm parameters.
 #[derive(Debug, Clone)]
@@ -239,12 +241,47 @@ impl Farm {
 
     /// Submits a job.
     ///
+    /// Jobs carrying custom microcode ([`JobSpec::with_microcode`]) are
+    /// run through the `ouessant-verify` static analyzer against the
+    /// farm's job memory map before they can take a queue slot:
+    /// programs with error-severity diagnostics (out-of-bounds
+    /// transfers, unjoined launches, DMA races, …) are bounced with
+    /// [`SubmitError::RejectedMicrocode`], so one hostile or buggy
+    /// client can never corrupt another job's shared-memory regions or
+    /// wedge a worker.
+    ///
     /// # Errors
     ///
     /// [`SubmitError::QueueFull`] is the backpressure signal; the other
     /// variants reject malformed or unserviceable jobs at admission
     /// (see [`SubmitError`]).
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        if let Some(program) = &spec.microcode {
+            // One instruction of headroom: serving the job on a DPR
+            // worker prepends an `rcfg` (see `adapt_custom_program`).
+            let limit = MAX_PROGRAM_LEN - 1;
+            if program.len() > limit {
+                self.queue.note_unsafe_rejection();
+                return Err(SubmitError::MicrocodeTooLong {
+                    len: program.len(),
+                    limit,
+                });
+            }
+            let input_words = u32::try_from(spec.input.len()).unwrap_or(u32::MAX);
+            let config = VerifyConfig::job_map(
+                program.len() as u32 + 1,
+                input_words,
+                spec.kind.output_words(input_words),
+            )
+            .with_fifo_depth(u32::try_from(self.config.fifo_depth).unwrap_or(u32::MAX));
+            let analysis = verify(program, &config);
+            if analysis.has_errors() {
+                self.queue.note_unsafe_rejection();
+                return Err(SubmitError::RejectedMicrocode {
+                    diagnostics: analysis,
+                });
+            }
+        }
         let serviceable = self.workers.iter().any(|w| w.caps().contains(&spec.kind));
         let payload_limit = u32::try_from(self.config.fifo_depth).unwrap_or(u32::MAX);
         let id = JobId(self.next_id);
@@ -371,7 +408,10 @@ impl Farm {
                     )
                 });
             let input_words = self.queue.pending()[pick.queue_index].input_words;
-            let program = build_program(job_kind, input_words, target, worker.loaded_config());
+            let program = match &self.queue.pending()[pick.queue_index].microcode {
+                Some(custom) => adapt_custom_program(custom, target, worker.loaded_config()),
+                None => build_program(job_kind, input_words, target, worker.loaded_config()),
+            };
             let Some(regions) = self.lease_regions(
                 program.len() as u32,
                 input_words,

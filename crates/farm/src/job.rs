@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use ouessant_isa::Program;
 use ouessant_rac::dft::{dft_fixed, dft_latency};
 use ouessant_rac::idct::{idct_2d_fixed, BLOCK_LEN};
 
@@ -123,6 +124,17 @@ pub struct JobSpec {
     /// Absolute-cycle deadline, if any (reported as missed/met in the
     /// record; the farm never drops late jobs).
     pub deadline: Option<u64>,
+    /// Client-supplied microcode replacing the farm's canonical
+    /// program for this job, if any.
+    ///
+    /// Custom microcode must follow the farm's job memory map (bank 0
+    /// program, bank 1 input, bank 2 output) and is run through the
+    /// `ouessant-verify` static analyzer at admission; programs with
+    /// error-severity diagnostics are rejected before they can touch a
+    /// worker (see [`SubmitError::RejectedMicrocode`]).
+    ///
+    /// [`SubmitError::RejectedMicrocode`]: crate::queue::SubmitError::RejectedMicrocode
+    pub microcode: Option<Program>,
 }
 
 impl JobSpec {
@@ -135,6 +147,7 @@ impl JobSpec {
             input,
             priority: 0,
             deadline: None,
+            microcode: None,
         }
     }
 
@@ -149,6 +162,16 @@ impl JobSpec {
     #[must_use]
     pub fn with_deadline(mut self, deadline: u64) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces the farm's canonical microcode with `program`.
+    ///
+    /// The program is statically verified at admission; see
+    /// [`JobSpec::microcode`].
+    #[must_use]
+    pub fn with_microcode(mut self, program: Program) -> Self {
+        self.microcode = Some(program);
         self
     }
 }

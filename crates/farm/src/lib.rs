@@ -13,8 +13,12 @@
 //!   completed job yields a [`JobRecord`] with its output and timing
 //!   breakdown;
 //! * [`queue`] — the bounded admission queue: malformed payloads are
-//!   bounced at submission and a full queue answers
-//!   [`SubmitError::QueueFull`] (backpressure);
+//!   bounced at submission, custom microcode
+//!   ([`JobSpec::with_microcode`]) is run through the
+//!   `ouessant-verify` static analyzer and rejected with its
+//!   diagnostics on any error ([`SubmitError::RejectedMicrocode`]),
+//!   and a full queue answers [`SubmitError::QueueFull`]
+//!   (backpressure);
 //! * [`policy`] — pluggable scheduling via [`SchedPolicy`]:
 //!   [`FifoPolicy`], [`RoundRobinPolicy`], and [`DprAffinityPolicy`]
 //!   (batch jobs onto workers whose loaded configuration matches,
@@ -76,3 +80,8 @@ pub use policy::{
 pub use queue::{PendingJob, SubmitError, SubmitQueue};
 pub use stats::{FarmReport, LatencyStats, WorkerReport};
 pub use worker::Worker;
+
+// The admission error carries the analyzer's verdict; re-export the
+// diagnostic types so clients can consume it without a direct
+// `ouessant-verify` dependency.
+pub use ouessant_verify::{Analysis, DiagKind, Diagnostic, Severity};

@@ -285,6 +285,7 @@ mod tests {
             priority: 0,
             deadline: None,
             input: vec![0],
+            microcode: None,
         }
     }
 

@@ -9,6 +9,9 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
+use ouessant_isa::Program;
+use ouessant_verify::Analysis;
+
 use crate::job::{JobId, JobKind, JobSpec};
 
 /// Why a submission was not admitted.
@@ -43,6 +46,24 @@ pub enum SubmitError {
         /// The unserviceable kind.
         kind: JobKind,
     },
+    /// The job's custom microcode failed static verification.
+    ///
+    /// Carries the full analysis so the client can see *why*: every
+    /// diagnostic names the offending instruction index, a severity and
+    /// a fix-it hint.
+    RejectedMicrocode {
+        /// The analyzer's verdict (at least one error-severity
+        /// diagnostic).
+        diagnostics: Analysis,
+    },
+    /// The job's custom microcode leaves no headroom for the `rcfg`
+    /// the farm prepends when serving it on a reconfigurable worker.
+    MicrocodeTooLong {
+        /// Instructions supplied.
+        len: usize,
+        /// Instructions admissible.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -66,6 +87,16 @@ impl fmt::Display for SubmitError {
             SubmitError::NoCapableWorker { kind } => {
                 write!(f, "no worker in the pool can serve {kind} jobs")
             }
+            SubmitError::RejectedMicrocode { diagnostics } => write!(
+                f,
+                "custom microcode rejected by the static analyzer ({} error(s)): {diagnostics}",
+                diagnostics.error_count()
+            ),
+            SubmitError::MicrocodeTooLong { len, limit } => write!(
+                f,
+                "custom microcode has {len} instructions, more than the {limit} the farm \
+                 can place (one slot is reserved for a DPR `rcfg` prepend)"
+            ),
         }
     }
 }
@@ -89,6 +120,8 @@ pub struct PendingJob {
     pub deadline: Option<u64>,
     /// The payload itself (consumed at dispatch).
     pub(crate) input: Vec<u32>,
+    /// Verified custom microcode, if the client supplied any.
+    pub(crate) microcode: Option<Program>,
 }
 
 /// A bounded FIFO of admitted jobs.
@@ -103,6 +136,8 @@ pub struct SubmitQueue {
     rejected_full: u64,
     /// Submissions rejected for any other reason.
     rejected_invalid: u64,
+    /// Submissions whose custom microcode failed static verification.
+    rejected_unsafe: u64,
     /// High-water mark of the queue depth.
     peak_depth: usize,
     admitted: u64,
@@ -122,6 +157,7 @@ impl SubmitQueue {
             capacity,
             rejected_full: 0,
             rejected_invalid: 0,
+            rejected_unsafe: 0,
             peak_depth: 0,
             admitted: 0,
         }
@@ -162,6 +198,22 @@ impl SubmitQueue {
     #[must_use]
     pub fn rejected_invalid(&self) -> u64 {
         self.rejected_invalid
+    }
+
+    /// Submissions whose custom microcode the static analyzer
+    /// rejected (see [`SubmitError::RejectedMicrocode`]).
+    #[must_use]
+    pub fn rejected_unsafe(&self) -> u64 {
+        self.rejected_unsafe
+    }
+
+    /// Counts one microcode-verification rejection.
+    ///
+    /// The verification itself happens in the farm front-end (it needs
+    /// the pool's memory map and FIFO depth); the queue only owns the
+    /// counter so all admission statistics live in one place.
+    pub(crate) fn note_unsafe_rejection(&mut self) {
+        self.rejected_unsafe += 1;
     }
 
     /// High-water mark of the queue depth.
@@ -234,6 +286,7 @@ impl SubmitQueue {
             priority: spec.priority,
             deadline: spec.deadline,
             input: spec.input,
+            microcode: spec.microcode,
         });
         self.admitted += 1;
         self.peak_depth = self.peak_depth.max(self.jobs.len());

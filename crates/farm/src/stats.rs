@@ -99,6 +99,8 @@ pub struct FarmReport {
     pub rejected_full: u64,
     /// Submissions bounced at validation.
     pub rejected_invalid: u64,
+    /// Submissions whose custom microcode the static analyzer rejected.
+    pub rejected_unsafe: u64,
     /// High-water mark of the queue depth.
     pub queue_peak_depth: usize,
     /// Cycles jobs waited in the queue.
@@ -137,6 +139,7 @@ impl FarmReport {
     ) -> Self {
         let rejected_full = queue.rejected_full();
         let rejected_invalid = queue.rejected_invalid();
+        let rejected_unsafe = queue.rejected_unsafe();
         let queue_peak_depth = queue.peak_depth();
         let queue_wait =
             LatencyStats::from_samples(records.iter().map(JobRecord::queue_wait).collect());
@@ -163,6 +166,7 @@ impl FarmReport {
             jobs_completed: records.len() as u64,
             rejected_full,
             rejected_invalid,
+            rejected_unsafe,
             queue_peak_depth,
             queue_wait,
             service,
@@ -183,8 +187,9 @@ impl fmt::Display for FarmReport {
         writeln!(f, "── farm report ({} policy) ──", self.policy)?;
         writeln!(
             f,
-            "jobs: {} completed, {} rejected (queue-full), {} rejected (invalid)",
-            self.jobs_completed, self.rejected_full, self.rejected_invalid
+            "jobs: {} completed, {} rejected (queue-full), {} rejected (invalid), \
+             {} rejected (unsafe microcode)",
+            self.jobs_completed, self.rejected_full, self.rejected_invalid, self.rejected_unsafe
         )?;
         write!(f, "kinds:")?;
         for (kind, n) in &self.per_kind {

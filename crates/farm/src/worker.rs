@@ -13,7 +13,7 @@
 //! in flight.
 
 use ouessant::{Ocp, OcpConfig};
-use ouessant_isa::{Program, ProgramBuilder};
+use ouessant_isa::{Instruction, ProgAddr, Program, ProgramBuilder};
 use ouessant_rac::dft::DftRac;
 use ouessant_rac::idct::IdctRac;
 use ouessant_rac::passthrough::PassthroughRac;
@@ -33,7 +33,11 @@ pub(crate) const OUTPUT_BANK: u8 = 2;
 const CHUNK: u16 = 64;
 
 /// The shared-memory regions leased to one in-flight job.
-#[derive(Debug, Clone, Copy)]
+///
+/// Non-`Copy`, like [`Region`] itself: the farm moves the lease into
+/// the [`ActiveJob`] and back out at completion, so a stale duplicate
+/// can never reach the allocator.
+#[derive(Debug)]
 pub(crate) struct JobRegions {
     pub prog: Region,
     pub input: Region,
@@ -69,6 +73,41 @@ pub(crate) fn build_program(
     b.eop()
         .finish()
         .expect("farm programs are structurally valid")
+}
+
+/// Adapts verified client microcode to the worker it will run on:
+/// serving it on a configuration other than the loaded one prepends an
+/// `rcfg`, which shifts every instruction index by one, so `djnz`
+/// branch targets are rebased to match.
+///
+/// Admission guarantees the headroom: custom programs are capped one
+/// instruction below [`MAX_PROGRAM_LEN`], so both the prepend and the
+/// `target + 1` rebase stay in range.
+///
+/// [`MAX_PROGRAM_LEN`]: ouessant_isa::operands::MAX_PROGRAM_LEN
+pub(crate) fn adapt_custom_program(
+    program: &Program,
+    target_config: usize,
+    loaded_config: usize,
+) -> Program {
+    if target_config == loaded_config {
+        return program.clone();
+    }
+    let mut insns = Vec::with_capacity(program.len() + 1);
+    insns.push(Instruction::Rcfg {
+        slot: u16::try_from(target_config).expect("config index fits rcfg operand"),
+    });
+    for insn in program.iter() {
+        insns.push(match *insn {
+            Instruction::Djnz { counter, target } => Instruction::Djnz {
+                counter,
+                target: ProgAddr::new(target.value() + 1)
+                    .expect("admission reserves headroom for the rcfg prepend"),
+            },
+            other => other,
+        });
+    }
+    Program::new(insns).expect("one instruction of headroom was reserved at admission")
 }
 
 /// The RAC instance serving one capability.

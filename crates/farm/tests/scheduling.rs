@@ -7,6 +7,7 @@ use ouessant_farm::{
     DprAffinityPolicy, Farm, FarmConfig, FifoPolicy, JobId, JobKind, JobSpec, RoundRobinPolicy,
     SubmitError,
 };
+use ouessant_isa::{Program, ProgramBuilder};
 use ouessant_sim::XorShift64;
 
 const IDCT: JobKind = JobKind::Idct;
@@ -237,6 +238,142 @@ fn affinity_patience_bounds_cross_kind_waiting() {
         "patience failed to bound the copy job's wait ({})",
         copy.queue_wait()
     );
+}
+
+/// A hand-written straight-line program equivalent to the farm's
+/// canonical copy microcode, but with a different burst chunking — it
+/// only completes correctly if the farm actually runs *this* program.
+fn custom_copy_program(words: u32) -> Program {
+    ProgramBuilder::new()
+        .transfer_to_coprocessor(1, 0, words, 16, 0)
+        .unwrap()
+        .execs_op(u16::try_from(words).unwrap())
+        .transfer_from_coprocessor(2, 0, words, 16, 0)
+        .unwrap()
+        .eop()
+        .finish()
+        .unwrap()
+}
+
+#[test]
+fn unsafe_custom_microcode_rejected_without_disturbing_in_flight_jobs() {
+    let mut farm = Farm::new(FarmConfig::default(), Box::new(FifoPolicy::new()));
+    farm.add_worker(COPY3);
+
+    // Put a legitimate job on the worker first.
+    let input: Vec<u32> = (1..=48).collect();
+    let good = farm.submit(JobSpec::new(COPY3, input.clone())).unwrap();
+    for _ in 0..20 {
+        farm.tick();
+    }
+    assert_eq!(farm.in_flight(), 1, "the good job is on the worker");
+
+    // An out-of-bounds burst: 256 words starting at word 16256 runs
+    // past the 16384-word offset space (and far past the 48-word input
+    // region this job would actually lease).
+    let overflow = ProgramBuilder::new()
+        .mvtc(1, 16256, 256, 0)
+        .unwrap()
+        .execs()
+        .eop()
+        .finish()
+        .unwrap();
+    let err = farm
+        .submit(JobSpec::new(COPY3, input.clone()).with_microcode(overflow))
+        .unwrap_err();
+    match &err {
+        SubmitError::RejectedMicrocode { diagnostics } => {
+            assert!(diagnostics.has_errors());
+            assert!(
+                err.to_string().contains("bank-overflow"),
+                "diagnostics name the defect: {err}"
+            );
+        }
+        other => panic!("expected RejectedMicrocode, got {other:?}"),
+    }
+
+    // A launch/join hazard: `execn` with no `wrac` on any path.
+    let unjoined = ProgramBuilder::new()
+        .transfer_to_coprocessor(1, 0, 48, 16, 0)
+        .unwrap()
+        .execn()
+        .eop()
+        .finish()
+        .unwrap();
+    let err = farm
+        .submit(JobSpec::new(COPY3, input.clone()).with_microcode(unjoined))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("unjoined-launch"),
+        "diagnostics name the defect: {err}"
+    );
+
+    // Neither rejection touched the in-flight job or took a queue slot.
+    assert_eq!(farm.in_flight(), 1, "rejections must not disturb the pool");
+    assert_eq!(farm.queue_len(), 0);
+    farm.run_until_idle(1_000_000).unwrap();
+
+    let report = farm.report();
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.rejected_unsafe, 2);
+    let record = &farm.records()[0];
+    assert_eq!(record.id, good);
+    assert_eq!(record.output, COPY3.expected_output(&input));
+}
+
+#[test]
+fn valid_custom_microcode_serves_end_to_end() {
+    let mut farm = Farm::new(FarmConfig::default(), Box::new(FifoPolicy::new()));
+    farm.add_worker(COPY3);
+    let input: Vec<u32> = (0..48).map(|w| w * 7 + 1).collect();
+    farm.submit(JobSpec::new(COPY3, input.clone()).with_microcode(custom_copy_program(48)))
+        .unwrap();
+    farm.run_until_idle(1_000_000).unwrap();
+    let report = farm.report();
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.rejected_unsafe, 0);
+    assert_eq!(farm.records()[0].output, COPY3.expected_output(&input));
+}
+
+#[test]
+fn custom_microcode_loop_survives_dpr_rcfg_prepend() {
+    // A looped input transfer on a DPR worker that must swap first:
+    // the farm prepends `rcfg`, shifting every instruction by one, so
+    // the `djnz` back-edge only lands on the `mvtcr` if admission's
+    // target rebase is correct. A wrong target re-runs `ldo` and feeds
+    // the payload's first words twice — caught by the golden model.
+    let words = 48u32;
+    let looped = ProgramBuilder::new()
+        .ldc(0, 3)
+        .unwrap()
+        .ldo(0, 0)
+        .unwrap()
+        .mvtcr(1, 0, 16, 0)
+        .unwrap()
+        .djnz(0, 2)
+        .unwrap()
+        .execs_op(u16::try_from(words).unwrap())
+        .transfer_from_coprocessor(2, 0, words, 16, 0)
+        .unwrap()
+        .eop()
+        .finish()
+        .unwrap();
+
+    let mut farm = single_dpr_farm(true);
+    assert_eq!(
+        farm.workers()[0].loaded_config(),
+        0,
+        "IDCT loaded: serving the copy job forces an rcfg prepend"
+    );
+    let input: Vec<u32> = (0..words).map(|w| w.wrapping_mul(0x9E37) + 3).collect();
+    farm.submit(JobSpec::new(COPY3, input.clone()).with_microcode(looped))
+        .unwrap();
+    farm.run_until_idle(50_000_000).unwrap();
+
+    let report = farm.report();
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.swaps, 1, "the custom job paid its own swap");
+    assert_eq!(farm.records()[0].output, COPY3.expected_output(&input));
 }
 
 #[test]

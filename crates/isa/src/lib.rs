@@ -72,6 +72,7 @@ pub mod opcode;
 pub mod operands;
 pub mod opt;
 pub mod program;
+pub mod transfer;
 
 pub use asm::{assemble, AssembleError, FIGURE4_SOURCE};
 pub use disasm::disassemble;
@@ -79,3 +80,4 @@ pub use instruction::{DecodeError, Instruction};
 pub use opcode::Opcode;
 pub use operands::{Bank, BurstLen, Counter, FifoId, Offset, OffsetReg, OperandError, ProgAddr};
 pub use program::{Program, ProgramBuilder, ValidateError};
+pub use transfer::{Transfer, TransferOffset};

@@ -23,6 +23,7 @@
 use crate::instruction::Instruction;
 use crate::operands::{BurstLen, Counter, OffsetReg, ProgAddr, MAX_BURST};
 use crate::program::{Program, ValidateError};
+use crate::transfer::{Transfer, TransferOffset};
 
 /// Statistics of an optimization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,56 +68,28 @@ pub fn coalesce_transfers(program: &Program) -> Result<(Program, OptStats), Vali
         return Ok((program.clone(), stats));
     }
 
-    for &insn in program.iter() {
-        let merged = match (out.last_mut(), insn) {
-            (
-                Some(Instruction::Mvtc {
-                    bank: pb,
-                    offset: po,
-                    burst: pl,
-                    fifo: pf,
-                }),
-                Instruction::Mvtc {
-                    bank,
-                    offset,
-                    burst,
-                    fifo,
-                },
-            ) if *pb == bank
-                && *pf == fifo
-                && u32::from(po.value()) + u32::from(pl.words()) == u32::from(offset.value())
-                && u32::from(pl.words()) + u32::from(burst.words()) <= MAX_BURST =>
-            {
-                *pl = BurstLen::new(pl.words() + burst.words()).expect("bounded by MAX_BURST");
-                true
-            }
-            (
-                Some(Instruction::Mvfc {
-                    bank: pb,
-                    offset: po,
-                    burst: pl,
-                    fifo: pf,
-                }),
-                Instruction::Mvfc {
-                    bank,
-                    offset,
-                    burst,
-                    fifo,
-                },
-            ) if *pb == bank
-                && *pf == fifo
-                && u32::from(po.value()) + u32::from(pl.words()) == u32::from(offset.value())
-                && u32::from(pl.words()) + u32::from(burst.words()) <= MAX_BURST =>
-            {
-                *pl = BurstLen::new(pl.words() + burst.words()).expect("bounded by MAX_BURST");
-                true
-            }
+    for (index, insn) in program.iter().enumerate() {
+        let merged = match (out.last_mut(), Transfer::from_instruction(index, insn)) {
+            (Some(last), Some(next)) => match Transfer::from_instruction(index - 1, last) {
+                Some(prev)
+                    if prev.is_contiguous_with(&next)
+                        && u32::from(prev.burst.words()) + u32::from(next.burst.words())
+                            <= MAX_BURST =>
+                {
+                    let mut widened = prev;
+                    widened.burst = BurstLen::new(prev.burst.words() + next.burst.words())
+                        .expect("bounded by MAX_BURST");
+                    *last = widened.to_instruction();
+                    true
+                }
+                _ => false,
+            },
             _ => false,
         };
         if merged {
             coalesced += 1;
         } else {
-            out.push(insn);
+            out.push(*insn);
         }
     }
 
@@ -166,50 +139,33 @@ pub fn rollup_loops(program: &Program) -> Result<(Program, OptStats), ValidateEr
         // Detect a run starting at i.
         let run_len = run_length(&insns[i..]);
         if run_len >= MIN_ROLLUP {
-            let (to_coprocessor, bank, offset, burst, fifo) = match insns[i] {
-                Instruction::Mvtc {
-                    bank,
-                    offset,
-                    burst,
-                    fifo,
-                } => (true, bank, offset, burst, fifo),
-                Instruction::Mvfc {
-                    bank,
-                    offset,
-                    burst,
-                    fifo,
-                } => (false, bank, offset, burst, fifo),
-                _ => unreachable!("run_length only reports transfer runs"),
-            };
-            let (oreg, creg) = if to_coprocessor {
+            let head = Transfer::from_instruction(i, &insns[i])
+                .expect("run_length only reports transfer runs");
+            let start = head
+                .start_offset()
+                .expect("run_length only reports immediate-offset runs");
+            let (oreg, creg) = if head.to_coprocessor {
                 (0u8, 0u8)
             } else {
                 (1u8, 1u8)
             };
+            let reg = OffsetReg::new(oreg).expect("register id valid");
             out.push(Instruction::Ldo {
-                reg: OffsetReg::new(oreg).expect("register id valid"),
-                imm: offset.value(),
+                reg,
+                imm: start as u16,
             });
             out.push(Instruction::Ldc {
                 counter: Counter::new(creg).expect("counter id valid"),
                 imm: run_len as u16,
             });
             let body_pc = out.len();
-            out.push(if to_coprocessor {
-                Instruction::Mvtcr {
-                    bank,
-                    reg: OffsetReg::new(oreg).expect("register id valid"),
-                    burst,
-                    fifo,
+            out.push(
+                Transfer {
+                    offset: TransferOffset::Register(reg),
+                    ..head
                 }
-            } else {
-                Instruction::Mvfcr {
-                    bank,
-                    reg: OffsetReg::new(oreg).expect("register id valid"),
-                    burst,
-                    fifo,
-                }
-            });
+                .to_instruction(),
+            );
             out.push(Instruction::Djnz {
                 counter: Counter::new(creg).expect("counter id valid"),
                 target: ProgAddr::new(body_pc as u16).expect("program fits the store"),
@@ -232,60 +188,21 @@ pub fn rollup_loops(program: &Program) -> Result<(Program, OptStats), ValidateEr
 }
 
 fn run_length(insns: &[Instruction]) -> usize {
-    let (to_coprocessor, bank, mut offset, burst, fifo) = match insns.first() {
-        Some(&Instruction::Mvtc {
-            bank,
-            offset,
-            burst,
-            fifo,
-        }) => (true, bank, offset, burst, fifo),
-        Some(&Instruction::Mvfc {
-            bank,
-            offset,
-            burst,
-            fifo,
-        }) => (false, bank, offset, burst, fifo),
-        _ => return 0,
+    let Some(mut prev) = insns.first().and_then(|i| Transfer::from_instruction(0, i)) else {
+        return 0;
     };
+    if prev.start_offset().is_none() {
+        return 0; // register-form transfers are already loop-shaped
+    }
     let mut len = 1usize;
     for insn in &insns[1..] {
-        let next = u32::from(offset.value()) + u32::from(burst.words());
-        let matches = match *insn {
-            Instruction::Mvtc {
-                bank: b,
-                offset: o,
-                burst: l,
-                fifo: f,
-            } => {
-                to_coprocessor
-                    && b == bank
-                    && f == fifo
-                    && l == burst
-                    && u32::from(o.value()) == next
+        match Transfer::from_instruction(len, insn) {
+            Some(next) if next.burst == prev.burst && prev.is_contiguous_with(&next) => {
+                prev = next;
+                len += 1;
             }
-            Instruction::Mvfc {
-                bank: b,
-                offset: o,
-                burst: l,
-                fifo: f,
-            } => {
-                !to_coprocessor
-                    && b == bank
-                    && f == fifo
-                    && l == burst
-                    && u32::from(o.value()) == next
-            }
-            _ => false,
-        };
-        if !matches {
-            break;
+            _ => break,
         }
-        let next = u32::from(offset.value()) + u32::from(burst.words());
-        match crate::operands::Offset::new(u16::try_from(next).unwrap_or(u16::MAX)) {
-            Ok(o) => offset = o,
-            Err(_) => break, // run would leave the offset field's range
-        }
-        len += 1;
     }
     len
 }

@@ -17,6 +17,7 @@ use crate::instruction::{DecodeError, Instruction};
 use crate::operands::{
     Bank, BurstLen, Counter, FifoId, Offset, OffsetReg, ProgAddr, MAX_PROGRAM_LEN,
 };
+use crate::transfer::Transfer;
 
 /// A validated sequence of Ouessant instructions.
 ///
@@ -133,6 +134,27 @@ impl Program {
     /// Iterates over the instructions.
     pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
         self.instructions.iter()
+    }
+
+    /// Iterates over the transfer instructions (`mvtc`/`mvfc`/`mvtcr`/
+    /// `mvfcr`) as direction-agnostic [`Transfer`] records tagged with
+    /// their instruction index.
+    ///
+    /// ```
+    /// use ouessant_isa::assemble;
+    ///
+    /// let p = assemble("mvtc BANK1,0,DMA64,FIFO0\nexecs\nmvfc BANK2,0,DMA64,FIFO0\neop")?;
+    /// let transfers: Vec<_> = p.iter_transfers().collect();
+    /// assert_eq!(transfers.len(), 2);
+    /// assert!(transfers[0].to_coprocessor);
+    /// assert_eq!(transfers[1].index, 2);
+    /// # Ok::<(), ouessant_isa::AssembleError>(())
+    /// ```
+    pub fn iter_transfers(&self) -> impl Iterator<Item = Transfer> + '_ {
+        self.instructions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, insn)| Transfer::from_instruction(i, insn))
     }
 
     /// Encodes the program into 32-bit memory words, ready to be placed

@@ -1,0 +1,216 @@
+//! A uniform view of the four transfer instructions.
+//!
+//! `mvtc`/`mvfc`/`mvtcr`/`mvfcr` share the same shape — a direction, a
+//! memory bank, a FIFO, a burst length and an addressing mode — but the
+//! [`Instruction`] enum keeps them as four variants for bit-exact
+//! encoding. Both the optimizer's coalescing walk and the static
+//! analyzer's bank-bounds pass need to reason about "the transfers of a
+//! program" generically; [`Transfer`] is that shared view, obtained per
+//! instruction via [`Transfer::from_instruction`] or for a whole
+//! program via [`crate::Program::iter_transfers`].
+
+use crate::instruction::Instruction;
+use crate::operands::{Bank, BurstLen, FifoId, Offset, OffsetReg};
+
+/// How a transfer addresses its bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOffset {
+    /// A 14-bit immediate word offset (`mvtc`/`mvfc`).
+    Immediate(Offset),
+    /// An offset register, post-incremented by the burst length
+    /// (`mvtcr`/`mvfcr`).
+    Register(OffsetReg),
+}
+
+/// One transfer instruction, direction-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Instruction index inside the program (0 when constructed from a
+    /// lone instruction).
+    pub index: usize,
+    /// `true` for `mvtc`/`mvtcr` (memory → input FIFO), `false` for
+    /// `mvfc`/`mvfcr` (output FIFO → memory).
+    pub to_coprocessor: bool,
+    /// The memory bank touched.
+    pub bank: Bank,
+    /// The FIFO involved.
+    pub fifo: FifoId,
+    /// Words moved.
+    pub burst: BurstLen,
+    /// Addressing mode.
+    pub offset: TransferOffset,
+}
+
+impl Transfer {
+    /// Views `insn` as a transfer, tagged with its program `index`.
+    /// Returns `None` for non-transfer instructions.
+    #[must_use]
+    pub fn from_instruction(index: usize, insn: &Instruction) -> Option<Self> {
+        let (to_coprocessor, bank, fifo, burst, offset) = match *insn {
+            Instruction::Mvtc {
+                bank,
+                offset,
+                burst,
+                fifo,
+            } => (true, bank, fifo, burst, TransferOffset::Immediate(offset)),
+            Instruction::Mvfc {
+                bank,
+                offset,
+                burst,
+                fifo,
+            } => (false, bank, fifo, burst, TransferOffset::Immediate(offset)),
+            Instruction::Mvtcr {
+                bank,
+                reg,
+                burst,
+                fifo,
+            } => (true, bank, fifo, burst, TransferOffset::Register(reg)),
+            Instruction::Mvfcr {
+                bank,
+                reg,
+                burst,
+                fifo,
+            } => (false, bank, fifo, burst, TransferOffset::Register(reg)),
+            _ => return None,
+        };
+        Some(Self {
+            index,
+            to_coprocessor,
+            bank,
+            fifo,
+            burst,
+            offset,
+        })
+    }
+
+    /// The immediate start offset, if this transfer uses one.
+    #[must_use]
+    pub fn start_offset(&self) -> Option<u32> {
+        match self.offset {
+            TransferOffset::Immediate(o) => Some(u32::from(o.value())),
+            TransferOffset::Register(_) => None,
+        }
+    }
+
+    /// One past the last word offset touched, for immediate transfers.
+    #[must_use]
+    pub fn end_offset(&self) -> Option<u32> {
+        self.start_offset()
+            .map(|s| s + u32::from(self.burst.words()))
+    }
+
+    /// Whether `next` continues this transfer: same direction, bank and
+    /// FIFO, both immediate, and starting exactly where this one ends.
+    #[must_use]
+    pub fn is_contiguous_with(&self, next: &Transfer) -> bool {
+        self.to_coprocessor == next.to_coprocessor
+            && self.bank == next.bank
+            && self.fifo == next.fifo
+            && matches!(
+                (self.end_offset(), next.start_offset()),
+                (Some(e), Some(s)) if e == s
+            )
+    }
+
+    /// Re-encodes the transfer as an [`Instruction`].
+    #[must_use]
+    pub fn to_instruction(&self) -> Instruction {
+        match (self.to_coprocessor, self.offset) {
+            (true, TransferOffset::Immediate(offset)) => Instruction::Mvtc {
+                bank: self.bank,
+                offset,
+                burst: self.burst,
+                fifo: self.fifo,
+            },
+            (false, TransferOffset::Immediate(offset)) => Instruction::Mvfc {
+                bank: self.bank,
+                offset,
+                burst: self.burst,
+                fifo: self.fifo,
+            },
+            (true, TransferOffset::Register(reg)) => Instruction::Mvtcr {
+                bank: self.bank,
+                reg,
+                burst: self.burst,
+                fifo: self.fifo,
+            },
+            (false, TransferOffset::Register(reg)) => Instruction::Mvfcr {
+                bank: self.bank,
+                reg,
+                burst: self.burst,
+                fifo: self.fifo,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn transfer_round_trips_through_instruction() {
+        let p = ProgramBuilder::new()
+            .mvtc(1, 0, 64, 0)
+            .unwrap()
+            .mvfc(2, 64, 32, 1)
+            .unwrap()
+            .mvtcr(3, 2, 16, 2)
+            .unwrap()
+            .mvfcr(4, 3, 8, 3)
+            .unwrap()
+            .eop()
+            .finish()
+            .unwrap();
+        for (i, insn) in p.iter().enumerate().take(4) {
+            let t = Transfer::from_instruction(i, insn).expect("transfer instruction");
+            assert_eq!(t.index, i);
+            assert_eq!(t.to_instruction(), *insn);
+        }
+        assert!(Transfer::from_instruction(4, &p[4]).is_none(), "eop");
+    }
+
+    #[test]
+    fn contiguity_requires_same_stream_and_adjacency() {
+        let a = Transfer::from_instruction(
+            0,
+            &ProgramBuilder::new()
+                .mvtc(1, 0, 64, 0)
+                .unwrap()
+                .eop()
+                .finish()
+                .unwrap()[0],
+        )
+        .unwrap();
+        let mk = |bank: u8, offset: u16, burst: u16, fifo: u8| {
+            Transfer::from_instruction(
+                1,
+                &ProgramBuilder::new()
+                    .mvtc(bank, offset, burst, fifo)
+                    .unwrap()
+                    .eop()
+                    .finish()
+                    .unwrap()[0],
+            )
+            .unwrap()
+        };
+        assert!(a.is_contiguous_with(&mk(1, 64, 64, 0)));
+        assert!(!a.is_contiguous_with(&mk(1, 65, 64, 0)), "gap");
+        assert!(!a.is_contiguous_with(&mk(2, 64, 64, 0)), "other bank");
+        assert!(!a.is_contiguous_with(&mk(1, 64, 64, 1)), "other fifo");
+    }
+
+    #[test]
+    fn register_transfers_have_no_static_offsets() {
+        let p = ProgramBuilder::new()
+            .mvtcr(1, 0, 64, 0)
+            .unwrap()
+            .eop()
+            .finish()
+            .unwrap();
+        let t = Transfer::from_instruction(0, &p[0]).unwrap();
+        assert_eq!(t.start_offset(), None);
+        assert_eq!(t.end_offset(), None);
+    }
+}

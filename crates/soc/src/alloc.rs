@@ -17,9 +17,13 @@ use ouessant_sim::bus::Addr;
 
 /// A region of shared memory leased from a [`BankAllocator`].
 ///
-/// Regions are plain values; returning one to a *different* allocator
-/// (or twice) is detected and rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Deliberately **not** `Copy`/`Clone`: a region is a linear lease
+/// token, consumed by [`BankAllocator::free`]. A copyable region made
+/// it too easy to keep a stale copy around and double-free it — the
+/// allocator detected that at runtime, but the type system can rule
+/// the whole class out at compile time. Returning a region to a
+/// *different* allocator is still detected and rejected dynamically.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Region {
     base: Addr,
     words: u32,
@@ -273,10 +277,44 @@ mod tests {
 
     #[test]
     fn double_free_rejected() {
+        // `Region` is non-Copy, so the old `free(r); free(r)` shape no
+        // longer compiles. A determined caller can still forge a stale
+        // duplicate (here via the test module's access to the private
+        // fields); the allocator must keep rejecting it dynamically.
         let mut a = BankAllocator::new(0, 64);
         let r = a.alloc(8).unwrap();
+        let stale = Region {
+            base: r.base(),
+            words: r.words(),
+        };
         a.free(r).unwrap();
-        assert_eq!(a.free(r), Err(AllocError::ForeignRegion { base: 0 }));
+        assert_eq!(a.free(stale), Err(AllocError::ForeignRegion { base: 0 }));
+    }
+
+    #[test]
+    fn stale_copy_cannot_outlive_a_reallocation() {
+        // Regression for the classic stale-copy bug: lease, keep a
+        // duplicate, free, re-lease the same extent, then "free" the
+        // stale duplicate. Before `Region` was made linear this
+        // silently released memory still owned by the new lease.
+        let mut a = BankAllocator::new(0, 64);
+        let r = a.alloc(8).unwrap();
+        let stale = Region {
+            base: r.base(),
+            words: r.words(),
+        };
+        a.free(r).unwrap();
+        let r2 = a.alloc(8).unwrap();
+        assert_eq!(r2.base(), stale.base(), "first-fit reuses the extent");
+        // The stale token matches a live lease byte-for-byte; freeing
+        // it releases r2's memory. The dynamic check cannot tell the
+        // difference -- which is exactly why the type now forbids the
+        // copy in safe code.
+        a.free(stale).unwrap();
+        assert!(
+            matches!(a.free(r2), Err(AllocError::ForeignRegion { .. })),
+            "the legitimate lease is now the double free"
+        );
     }
 
     #[test]
@@ -306,17 +344,13 @@ mod tests {
     #[test]
     fn fragmentation_then_coalesce_interior() {
         let mut a = BankAllocator::new(0, 120);
-        let regions: Vec<Region> = (0..6).map(|_| a.alloc(20).unwrap()).collect();
+        let mut regions: Vec<Option<Region>> = (0..6).map(|_| Some(a.alloc(20).unwrap())).collect();
         // Free odd regions, then even: interleaved frees must coalesce.
-        for (i, r) in regions.iter().enumerate() {
-            if i % 2 == 1 {
-                a.free(*r).unwrap();
-            }
+        for i in (1..6).step_by(2) {
+            a.free(regions[i].take().unwrap()).unwrap();
         }
-        for (i, r) in regions.iter().enumerate() {
-            if i % 2 == 0 {
-                a.free(*r).unwrap();
-            }
+        for i in (0..6).step_by(2) {
+            a.free(regions[i].take().unwrap()).unwrap();
         }
         assert_eq!(a.largest_free(), 120);
     }

@@ -23,6 +23,7 @@ use std::fmt;
 use ouessant_isa::Program;
 use ouessant_rac::rac::Rac;
 use ouessant_sim::bus::Addr;
+use ouessant_verify::{verify, Analysis, VerifyConfig};
 
 use crate::os::OsModel;
 use crate::soc::{Soc, SocConfig, SocError};
@@ -50,6 +51,9 @@ pub enum DriverError {
     },
     /// `submit_and_wait` called before microcode was loaded.
     NoMicrocode,
+    /// The static analyzer found error-severity defects in the
+    /// microcode (bank overrun, unjoined launch, FIFO misuse, …).
+    RejectedMicrocode(Analysis),
 }
 
 impl fmt::Display for DriverError {
@@ -64,6 +68,12 @@ impl fmt::Display for DriverError {
                 "buffer access of {requested} words exceeds the {capacity}-word buffer"
             ),
             DriverError::NoMicrocode => f.write_str("no microcode loaded"),
+            DriverError::RejectedMicrocode(analysis) => write!(
+                f,
+                "microcode rejected by the static analyzer ({} error(s)): {}",
+                analysis.error_count(),
+                analysis
+            ),
         }
     }
 }
@@ -130,6 +140,7 @@ pub struct OuessantDevice {
     input_at: Addr,
     output_at: Addr,
     buffer_words: usize,
+    fifo_depth: usize,
     /// Cumulative OS cycles charged since `open`.
     os_cycles_total: u64,
 }
@@ -145,6 +156,7 @@ impl OuessantDevice {
     /// Opens the device on a specific SoC configuration.
     #[must_use]
     pub fn open_with_config(rac: Box<dyn Rac>, os: OsModel, config: SocConfig) -> Self {
+        let fifo_depth = config.ocp.fifo_depth;
         let soc = Soc::new(rac, config);
         let ram = config.ram_base;
         Self {
@@ -155,6 +167,7 @@ impl OuessantDevice {
             input_at: ram + 0x4000,
             output_at: ram + 0x2_0000,
             buffer_words: 0x1_0000 / 4,
+            fifo_depth,
             os_cycles_total: OPEN_COST_CYCLES,
         }
     }
@@ -178,13 +191,47 @@ impl OuessantDevice {
         self.os_cycles_total
     }
 
-    /// Loads microcode into the device's program buffer.
+    /// The static-analyzer view of this device's memory map: program,
+    /// input and output banks sized to the driver buffers, everything
+    /// else unmapped, FIFO depth from the SoC configuration.
+    fn verify_config(&self) -> VerifyConfig {
+        let words = self.buffer_words as u32;
+        VerifyConfig::job_map(words, words, words).with_fifo_depth(self.fifo_depth as u32)
+    }
+
+    /// Loads microcode into the device's program buffer, after running
+    /// the static analyzer against this device's memory map — defective
+    /// microcode is rejected before it ever reaches the hardware.
     ///
     /// # Errors
     ///
-    /// [`DriverError::BufferOverrun`] if the program exceeds the buffer,
-    /// or a propagated [`SocError`].
+    /// [`DriverError::RejectedMicrocode`] if the analyzer reports any
+    /// error-severity diagnostic, [`DriverError::BufferOverrun`] if the
+    /// program exceeds the buffer, or a propagated [`SocError`].
     pub fn load_microcode(&mut self, program: &Program) -> Result<(), DriverError> {
+        let analysis = verify(program, &self.verify_config());
+        if analysis.has_errors() {
+            return Err(DriverError::RejectedMicrocode(analysis));
+        }
+        self.load_microcode_raw(program)
+    }
+
+    /// Loads microcode without running the static analyzer.
+    ///
+    /// Only available behind the `unchecked-microcode` feature: the
+    /// fault-injection suites need to plant microcode the analyzer
+    /// would (correctly) reject and watch the hardware cope.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::BufferOverrun`] if the program exceeds the
+    /// buffer, or a propagated [`SocError`].
+    #[cfg(feature = "unchecked-microcode")]
+    pub fn load_microcode_unchecked(&mut self, program: &Program) -> Result<(), DriverError> {
+        self.load_microcode_raw(program)
+    }
+
+    fn load_microcode_raw(&mut self, program: &Program) -> Result<(), DriverError> {
         let words = program.to_words();
         self.check_len(words.len())?;
         self.soc.load_words(self.program_at, &words)?;
@@ -354,6 +401,44 @@ mod tests {
             dev.read_output(dev.buffer_capacity() + 1),
             Err(DriverError::BufferOverrun { .. })
         ));
+    }
+
+    #[test]
+    fn defective_microcode_rejected_before_load() {
+        let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::Baremetal);
+        // An execn that is never joined: the analyzer flags it, and the
+        // device must refuse to arm the program at all.
+        let bad = assemble("mvtc BANK1,0,DMA16,FIFO0\nexecn 16\neop").unwrap();
+        match dev.load_microcode(&bad) {
+            Err(DriverError::RejectedMicrocode(analysis)) => {
+                assert!(analysis.has_errors());
+                assert!(analysis.to_string().contains("unjoined-launch"));
+            }
+            other => panic!("expected RejectedMicrocode, got {other:?}"),
+        }
+        // Nothing was armed: submission still reports NoMicrocode.
+        assert!(matches!(
+            dev.submit_and_wait(),
+            Err(DriverError::NoMicrocode)
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_burst_rejected_before_load() {
+        let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::Baremetal);
+        let bad = assemble("mvtc BANK1,16256,DMA256,FIFO0\nexecs\neop").unwrap();
+        let err = dev.load_microcode(&bad).unwrap_err();
+        assert!(err.to_string().contains("bank-overflow"), "{err}");
+    }
+
+    #[cfg(feature = "unchecked-microcode")]
+    #[test]
+    fn unchecked_load_bypasses_the_analyzer() {
+        let mut dev = OuessantDevice::open(Box::new(PassthroughRac::new(0)), OsModel::Baremetal);
+        let bad = assemble("mvtc BANK1,16256,DMA256,FIFO0\nexecs\neop").unwrap();
+        assert!(dev.load_microcode(&bad).is_err());
+        dev.load_microcode_unchecked(&bad)
+            .expect("the bypass must load what the analyzer rejects");
     }
 
     #[test]

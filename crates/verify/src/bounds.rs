@@ -1,0 +1,172 @@
+//! Bank-bounds, unmapped-bank and FIFO-capacity analysis.
+//!
+//! Two tiers. Immediate-offset transfers (`mvtc`/`mvfc`) are checked
+//! statically over every CFG-reachable instruction — their footprint
+//! is `offset + burst` regardless of loop trip counts. Register-offset
+//! transfers (`mvtcr`/`mvfcr`) depend on `ldo`/`addo`/post-increment
+//! history, but the controller's counters and offset registers are
+//! fully deterministic from reset, so the pass *walks* the program
+//! concretely (same semantics as the controller FSM, fuel-bounded) and
+//! records the worst offset each transfer instruction ever issues —
+//! this is what makes "worst-case loop trip count" bounds exact rather
+//! than widened.
+
+use std::collections::HashMap;
+
+use ouessant_isa::operands::{MAX_OFFSET, NUM_COUNTERS, NUM_OFFSET_REGS};
+use ouessant_isa::{Instruction, Program, Transfer, TransferOffset};
+
+use crate::cfg::Cfg;
+use crate::config::{BankModel, VerifyConfig};
+use crate::diag::{DiagKind, Diagnostic, Severity};
+
+/// Abort the concrete walk after this many executed instructions.
+const WALK_FUEL: u64 = 2_000_000;
+
+fn overflow_diag(t: &Transfer, start: u32, capacity: u32) -> Diagnostic {
+    let end = start + u32::from(t.burst.words());
+    Diagnostic {
+        severity: Severity::Error,
+        kind: DiagKind::BankOverflow,
+        index: t.index,
+        message: format!(
+            "transfer touches {} words {}..{} but the bank holds {} words",
+            t.bank, start, end, capacity
+        ),
+        hint: format!("shrink the burst or start offset so offset+burst <= {capacity}"),
+    }
+}
+
+fn unmapped_diag(t: &Transfer) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        kind: DiagKind::UnmappedBank,
+        index: t.index,
+        message: format!("transfer touches {} which is not mapped", t.bank),
+        hint: "target a mapped bank (see the job memory map)".into(),
+    }
+}
+
+/// Runs both tiers and returns the bounds diagnostics.
+pub(crate) fn analyze(program: &Program, cfg: &Cfg, config: &VerifyConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Tier A: every reachable transfer, static facts only.
+    for t in program.iter_transfers() {
+        if !cfg.is_reachable(t.index) {
+            continue;
+        }
+        if let Some(depth) = config.fifo_depth {
+            let burst = u32::from(t.burst.words());
+            if burst > depth {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    kind: DiagKind::BurstExceedsFifo,
+                    index: t.index,
+                    message: format!(
+                        "burst of {burst} words exceeds the {depth}-word FIFO and can never complete"
+                    ),
+                    hint: format!("split the transfer into bursts of at most {depth} words"),
+                });
+            }
+        }
+        match (config.banks[t.bank.index()], t.start_offset()) {
+            (BankModel::Unmapped, _) => out.push(unmapped_diag(&t)),
+            (model, Some(start)) => {
+                let capacity = model.capacity().expect("mapped banks have a capacity");
+                if start + u32::from(t.burst.words()) > capacity {
+                    out.push(overflow_diag(&t, start, capacity));
+                }
+            }
+            // Register-offset transfers against a mapped bank are
+            // handled by the concrete walk below.
+            (_, None) => {}
+        }
+    }
+
+    // Tier B: the concrete walk, for register-offset transfers.
+    let has_register_transfers = program
+        .iter_transfers()
+        .any(|t| matches!(t.offset, TransferOffset::Register(_)));
+    if has_register_transfers {
+        out.extend(walk(program, config));
+    }
+
+    out
+}
+
+/// Executes the program's control skeleton concretely from reset and
+/// records the worst start offset of every register-offset transfer.
+fn walk(program: &Program, config: &VerifyConfig) -> Vec<Diagnostic> {
+    let mut counters = [0u64; NUM_COUNTERS as usize];
+    let mut oregs = [0u32; NUM_OFFSET_REGS as usize];
+    let wrap = MAX_OFFSET + 1;
+    // pc -> worst start offset seen across all iterations.
+    let mut worst: HashMap<usize, u32> = HashMap::new();
+    let mut pc = 0usize;
+    let mut fuel = WALK_FUEL;
+    let mut exhausted = None;
+    while pc < program.len() {
+        if fuel == 0 {
+            exhausted = Some(pc);
+            break;
+        }
+        fuel -= 1;
+        match program[pc] {
+            Instruction::Ldc { counter, imm } => counters[counter.index()] = u64::from(imm),
+            Instruction::Ldo { reg, imm } => oregs[reg.index()] = u32::from(imm),
+            Instruction::Addo { reg, delta } => {
+                let v = i64::from(oregs[reg.index()]) + i64::from(delta);
+                oregs[reg.index()] = v.rem_euclid(i64::from(wrap)) as u32;
+            }
+            Instruction::Djnz { counter, target } if counters[counter.index()] > 0 => {
+                counters[counter.index()] -= 1;
+                if counters[counter.index()] > 0 {
+                    pc = target.index();
+                    continue;
+                }
+            }
+            Instruction::Mvtcr { reg, burst, .. } | Instruction::Mvfcr { reg, burst, .. } => {
+                let start = oregs[reg.index()];
+                worst
+                    .entry(pc)
+                    .and_modify(|w| *w = (*w).max(start))
+                    .or_insert(start);
+                oregs[reg.index()] = (start + u32::from(burst.words())) % wrap;
+            }
+            Instruction::Eop | Instruction::Halt => break,
+            _ => {}
+        }
+        pc += 1;
+    }
+
+    let mut out = Vec::new();
+    let mut offenders: Vec<(usize, u32)> = worst.into_iter().collect();
+    offenders.sort_unstable();
+    for (index, start) in offenders {
+        let t = Transfer::from_instruction(index, &program[index])
+            .expect("walk only records transfer instructions");
+        match config.banks[t.bank.index()] {
+            // Tier A already reported unmapped banks.
+            BankModel::Unmapped => {}
+            model => {
+                let capacity = model.capacity().expect("mapped banks have a capacity");
+                if start + u32::from(t.burst.words()) > capacity {
+                    out.push(overflow_diag(&t, start, capacity));
+                }
+            }
+        }
+    }
+    if let Some(pc) = exhausted {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            kind: DiagKind::AnalysisBudget,
+            index: pc,
+            message: format!(
+                "bounds walk stopped after {WALK_FUEL} instructions without reaching eop"
+            ),
+            hint: "the program may not terminate; check the loop counters".into(),
+        });
+    }
+    out
+}

@@ -1,0 +1,270 @@
+//! Structured diagnostics produced by the analyzer.
+//!
+//! Every finding carries a severity, the instruction index it anchors
+//! to, a stable machine-readable code, a human message and a fix-it
+//! hint. [`Analysis`] is the full result of a [`crate::verify`] run;
+//! [`Analysis::to_json`] renders it for tooling (the `ouas --json`
+//! flag) without any serialization dependency.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// *Errors* are definite contract violations — the program will
+/// overrun a bank, hang the controller, or read garbage on **every**
+/// path that reaches the instruction. *Warnings* flag aggressive or
+/// suspicious constructs (e.g. the software-pipelined `execn` overlap
+/// idiom, where the output-FIFO drain is the implicit join) that are
+/// only wrong on *some* path or under unusual accelerator behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but possibly intentional.
+    Warning,
+    /// Definite contract violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The defect classes the analyzer reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagKind {
+    /// A transfer's `offset + burst` exceeds the declared bank size.
+    BankOverflow,
+    /// A transfer touches a bank the configuration declares unmapped.
+    UnmappedBank,
+    /// A burst longer than the FIFO depth can never complete.
+    BurstExceedsFifo,
+    /// The bounds walk ran out of fuel before reaching `eop`.
+    AnalysisBudget,
+    /// A launch while a previous `execn` is still un-joined.
+    DoubleLaunch,
+    /// A `wrac` with no launch pending on any path.
+    SpuriousJoin,
+    /// An `execn` never joined before `eop`/`halt`.
+    UnjoinedLaunch,
+    /// A transfer touches a bank feeding an un-joined launch.
+    RacingTransfer,
+    /// An `rcfg` while a launch is still un-joined.
+    RacingReconfig,
+    /// An output-FIFO read with no launch on any incoming path.
+    ReadBeforeExec,
+    /// A launch with no input transferred since the previous launch.
+    ExecWithoutInput,
+    /// An instruction no path can reach (including unreachable `eop`).
+    DeadCode,
+}
+
+impl DiagKind {
+    /// The stable machine-readable code (`--json` output).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagKind::BankOverflow => "bank-overflow",
+            DiagKind::UnmappedBank => "unmapped-bank",
+            DiagKind::BurstExceedsFifo => "burst-exceeds-fifo",
+            DiagKind::AnalysisBudget => "analysis-budget",
+            DiagKind::DoubleLaunch => "double-launch",
+            DiagKind::SpuriousJoin => "spurious-join",
+            DiagKind::UnjoinedLaunch => "unjoined-launch",
+            DiagKind::RacingTransfer => "racing-transfer",
+            DiagKind::RacingReconfig => "racing-reconfig",
+            DiagKind::ReadBeforeExec => "read-before-exec",
+            DiagKind::ExecWithoutInput => "exec-without-input",
+            DiagKind::DeadCode => "dead-code",
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// The defect class.
+    pub kind: DiagKind,
+    /// Index of the instruction the finding anchors to.
+    pub index: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// A suggested fix.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"index\":{},\"message\":\"{}\",\"hint\":\"{}\"}}",
+            self.severity,
+            self.kind.code(),
+            self.index,
+            escape_json(&self.message),
+            escape_json(&self.hint),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at #{}: {} (hint: {})",
+            self.severity,
+            self.kind.code(),
+            self.index,
+            self.message,
+            self.hint
+        )
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The result of one [`crate::verify`] run: the diagnostics, sorted by
+/// instruction index (errors before warnings at the same index).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Analysis {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    pub(crate) fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by_key(|d| (d.index, d.severity == Severity::Warning));
+        Self { diagnostics }
+    }
+
+    /// All findings, in program order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any finding is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the run produced no findings at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the whole analysis as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+            self.error_count(),
+            self.warning_count(),
+            items.join(",")
+        )
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "clean: no diagnostics");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(severity: Severity, index: usize) -> Diagnostic {
+        Diagnostic {
+            severity,
+            kind: DiagKind::BankOverflow,
+            index,
+            message: "m".into(),
+            hint: "h".into(),
+        }
+    }
+
+    #[test]
+    fn analysis_sorts_and_counts() {
+        let a = Analysis::new(vec![
+            sample(Severity::Warning, 3),
+            sample(Severity::Error, 1),
+            sample(Severity::Error, 3),
+        ]);
+        assert_eq!(a.error_count(), 2);
+        assert_eq!(a.warning_count(), 1);
+        assert!(a.has_errors());
+        assert_eq!(a.diagnostics()[0].index, 1);
+        assert_eq!(a.diagnostics()[1].severity, Severity::Error);
+        assert_eq!(a.diagnostics()[2].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic {
+            severity: Severity::Error,
+            kind: DiagKind::UnmappedBank,
+            index: 2,
+            message: "say \"hi\"".into(),
+            hint: "line\nbreak".into(),
+        };
+        let j = d.to_json();
+        assert!(j.contains("\\\"hi\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.starts_with("{\"severity\":\"error\",\"code\":\"unmapped-bank\""));
+        let a = Analysis::new(vec![d]);
+        assert!(a.to_json().starts_with("{\"errors\":1,\"warnings\":0,"));
+    }
+
+    #[test]
+    fn clean_analysis_display() {
+        let a = Analysis::default();
+        assert!(a.is_clean());
+        assert_eq!(a.to_string(), "clean: no diagnostics");
+    }
+}

@@ -1,0 +1,319 @@
+//! Launch/join, race and FIFO-discipline analysis.
+//!
+//! A forward may/must dataflow over the [`Cfg`] with a three-valued
+//! lattice per fact (`No` / `Yes` / `Both` = differs by path). The
+//! abstract state tracks:
+//!
+//! * `pending` — is an `execn` launch un-joined?
+//! * `executed` — has any launch happened (needed by the output-FIFO
+//!   read discipline)?
+//! * `drained` — has the output FIFO been read since the pending
+//!   launch? A blocking `mvfc` that returns proves the accelerator
+//!   made progress, so a drain is accepted as an *implicit join*
+//!   downgrade: the software-pipelined overlap idiom (`mvtcr` /
+//!   `execn` / `mvfcr` / `djnz` with no `wrac` at all) produces
+//!   warnings, never errors.
+//! * `fed` — banks transferred to the coprocessor since the last
+//!   launch (the next launch consumes them);
+//! * `owned` — banks feeding the currently-pending launch (touching
+//!   one before the join races the accelerator's input stream).
+//!
+//! Severities follow the lattice: a hazard that holds on **every**
+//! path (`Yes`) is an error, one that holds on *some* path (`Both`)
+//! a warning.
+
+use ouessant_isa::{Instruction, Program, Transfer};
+
+use crate::cfg::Cfg;
+use crate::diag::{DiagKind, Diagnostic, Severity};
+
+/// Three-valued dataflow fact: false on all paths, true on all paths,
+/// or path-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    No,
+    Yes,
+    Both,
+}
+
+impl Tri {
+    fn join(self, other: Tri) -> Tri {
+        if self == other {
+            self
+        } else {
+            Tri::Both
+        }
+    }
+
+    /// True on at least one path.
+    fn may(self) -> bool {
+        !matches!(self, Tri::No)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct State {
+    pending: Tri,
+    executed: Tri,
+    drained: Tri,
+    fed: u8,
+    owned: u8,
+}
+
+impl State {
+    const ENTRY: State = State {
+        pending: Tri::No,
+        executed: Tri::No,
+        drained: Tri::No,
+        fed: 0,
+        owned: 0,
+    };
+
+    fn join(self, other: State) -> State {
+        State {
+            pending: self.pending.join(other.pending),
+            executed: self.executed.join(other.executed),
+            drained: self.drained.join(other.drained),
+            fed: self.fed | other.fed,
+            owned: self.owned | other.owned,
+        }
+    }
+}
+
+fn bank_bit(t: &Transfer) -> u8 {
+    1u8 << t.bank.index()
+}
+
+/// The transfer function: the state *after* executing `insn` in `s`.
+/// Pure (no diagnostics) so the fixpoint iteration stays cheap; the
+/// reporting pass below re-runs it once per reachable instruction.
+fn step(insn: &Instruction, mut s: State) -> State {
+    match insn {
+        Instruction::Mvtc { .. } | Instruction::Mvtcr { .. } => {
+            let t = Transfer::from_instruction(0, insn).expect("transfer instruction");
+            s.fed |= bank_bit(&t);
+        }
+        Instruction::Mvfc { .. } | Instruction::Mvfcr { .. } => {
+            if s.pending.may() {
+                s.drained = Tri::Yes;
+            }
+            if s.pending == Tri::Yes {
+                // The blocking drain proves the launch ran.
+                s.executed = Tri::Yes;
+            }
+        }
+        Instruction::Exec { .. } => {
+            s.pending = Tri::No;
+            s.executed = Tri::Yes;
+            s.drained = Tri::No;
+            s.fed = 0;
+            s.owned = 0;
+        }
+        Instruction::Execn { .. } => {
+            s.owned = s.fed;
+            s.fed = 0;
+            s.pending = Tri::Yes;
+            s.drained = Tri::No;
+        }
+        Instruction::Wrac => {
+            if s.pending.may() {
+                s.executed = Tri::Yes;
+            }
+            s.pending = Tri::No;
+            s.drained = Tri::No;
+            s.owned = 0;
+        }
+        Instruction::Rcfg { .. } => {
+            // A new accelerator personality: past launches prove
+            // nothing about its FIFOs.
+            s.pending = Tri::No;
+            s.executed = Tri::No;
+            s.drained = Tri::No;
+            s.fed = 0;
+            s.owned = 0;
+        }
+        Instruction::Nop
+        | Instruction::Eop
+        | Instruction::Halt
+        | Instruction::Ldc { .. }
+        | Instruction::Djnz { .. }
+        | Instruction::Ldo { .. }
+        | Instruction::Addo { .. }
+        | Instruction::Wait { .. }
+        | Instruction::Sync => {}
+    }
+    s
+}
+
+/// Diagnostics for executing `insn` at `pc` in state `s`.
+fn report(pc: usize, insn: &Instruction, s: &State, out: &mut Vec<Diagnostic>) {
+    let push = |out: &mut Vec<Diagnostic>, severity, kind, message: String, hint: &str| {
+        out.push(Diagnostic {
+            severity,
+            kind,
+            index: pc,
+            message,
+            hint: hint.into(),
+        });
+    };
+    match insn {
+        Instruction::Mvtc { .. } | Instruction::Mvtcr { .. } => {
+            let t = Transfer::from_instruction(pc, insn).expect("transfer instruction");
+            if s.pending.may() && s.owned & bank_bit(&t) != 0 {
+                push(
+                    out,
+                    Severity::Warning,
+                    DiagKind::RacingTransfer,
+                    format!(
+                        "`{insn}` re-reads {} while it may still feed an un-joined launch",
+                        t.bank
+                    ),
+                    "join with `wrac` (or drain the output FIFO) before touching the bank",
+                );
+            }
+        }
+        Instruction::Mvfc { .. } | Instruction::Mvfcr { .. } => {
+            let t = Transfer::from_instruction(pc, insn).expect("transfer instruction");
+            if s.owned & bank_bit(&t) != 0 && s.pending.may() {
+                let severity = if s.pending == Tri::Yes {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                };
+                push(
+                    out,
+                    severity,
+                    DiagKind::RacingTransfer,
+                    format!(
+                        "`{insn}` overwrites {} while an un-joined launch may still stream it",
+                        t.bank
+                    ),
+                    "join with `wrac` before writing results over the launch's input bank",
+                );
+            } else if s.pending == Tri::No && !s.executed.may() {
+                push(
+                    out,
+                    Severity::Error,
+                    DiagKind::ReadBeforeExec,
+                    format!(
+                        "`{insn}` reads the output FIFO but no path has launched the accelerator"
+                    ),
+                    "insert an `execs`/`execn` before draining the output FIFO",
+                );
+            } else if s.pending == Tri::No && s.executed == Tri::Both {
+                push(
+                    out,
+                    Severity::Warning,
+                    DiagKind::ReadBeforeExec,
+                    format!("`{insn}` reads the output FIFO but some path has not launched the accelerator"),
+                    "make every path launch before draining, or restructure the branch",
+                );
+            }
+        }
+        Instruction::Exec { .. } | Instruction::Execn { .. } => {
+            if s.pending.may() {
+                let severity = if s.pending == Tri::Yes && s.drained == Tri::No {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                };
+                push(
+                    out,
+                    severity,
+                    DiagKind::DoubleLaunch,
+                    format!("`{insn}` launches while a previous `execn` is still un-joined"),
+                    "join the previous launch with `wrac` first",
+                );
+            }
+            if s.fed == 0 {
+                push(
+                    out,
+                    Severity::Warning,
+                    DiagKind::ExecWithoutInput,
+                    format!(
+                        "`{insn}` launches with no input transferred since the previous launch"
+                    ),
+                    "transfer input with `mvtc` first, or confirm the accelerator needs none",
+                );
+            }
+        }
+        Instruction::Wrac => {
+            if s.pending == Tri::No {
+                push(
+                    out,
+                    Severity::Error,
+                    DiagKind::SpuriousJoin,
+                    "`wrac` waits for an accelerator no path has launched with `execn`".into(),
+                    "remove the `wrac` or launch with `execn` before it",
+                );
+            } else if s.pending == Tri::Both {
+                push(
+                    out,
+                    Severity::Warning,
+                    DiagKind::SpuriousJoin,
+                    "`wrac` waits for a launch that only some paths performed".into(),
+                    "make every path launch with `execn` before the `wrac`",
+                );
+            }
+        }
+        Instruction::Rcfg { .. } if s.pending.may() => {
+            let severity = if s.pending == Tri::Yes && s.drained == Tri::No {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            push(
+                out,
+                severity,
+                DiagKind::RacingReconfig,
+                format!("`{insn}` reconfigures while an `execn` launch is still un-joined"),
+                "join with `wrac` before reconfiguring the accelerator slot",
+            );
+        }
+        Instruction::Eop | Instruction::Halt if s.pending.may() => {
+            let severity = if s.pending == Tri::Yes && s.drained == Tri::No {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            push(
+                out,
+                severity,
+                DiagKind::UnjoinedLaunch,
+                format!("`{insn}` ends the program while an `execn` launch may be un-joined"),
+                "join with `wrac` (or drain the output FIFO) before ending the program",
+            );
+        }
+        _ => {}
+    }
+}
+
+/// Runs the launch/join, race and FIFO-discipline analysis.
+pub(crate) fn analyze(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
+    let len = program.len();
+    let mut states: Vec<Option<State>> = vec![None; len];
+    states[0] = Some(State::ENTRY);
+    let mut worklist = vec![0usize];
+    while let Some(pc) = worklist.pop() {
+        let s = states[pc].expect("worklist entries have a state");
+        let after = step(&program[pc], s);
+        for &succ in cfg.successors(pc) {
+            let merged = match states[succ] {
+                Some(old) => old.join(after),
+                None => after,
+            };
+            if states[succ] != Some(merged) {
+                states[succ] = Some(merged);
+                worklist.push(succ);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for pc in 0..len {
+        if let Some(s) = states[pc] {
+            report(pc, &program[pc], &s, &mut out);
+        }
+    }
+    out
+}

@@ -1,0 +1,66 @@
+//! The repository's `.oua` microcode fixtures, gated in-tree.
+//!
+//! `scripts/verify_fixtures.sh` runs the same check through the `ouas`
+//! CLI in CI; this test keeps the invariant enforced by `cargo test`
+//! alone, and additionally pins the *warning* expectations the shell
+//! gate tolerates.
+
+use ouessant_isa::assemble;
+use ouessant_verify::{verify, VerifyConfig};
+
+/// `(name, source, expected warnings)` for every fixture in the tree.
+/// None may carry error-severity diagnostics.
+const FIXTURES: &[(&str, &str, usize)] = &[
+    (
+        "examples/microcode/figure4.oua",
+        include_str!("../../../examples/microcode/figure4.oua"),
+        0,
+    ),
+    (
+        "examples/microcode/dft_rolled.oua",
+        include_str!("../../../examples/microcode/dft_rolled.oua"),
+        0,
+    ),
+    (
+        "examples/microcode/split_launch.oua",
+        include_str!("../../../examples/microcode/split_launch.oua"),
+        0,
+    ),
+    (
+        "crates/isa/tests/fixtures/quickstart.oua",
+        include_str!("../../isa/tests/fixtures/quickstart.oua"),
+        0,
+    ),
+    (
+        "crates/isa/tests/fixtures/rolled_loop.oua",
+        include_str!("../../isa/tests/fixtures/rolled_loop.oua"),
+        0,
+    ),
+    // The overlapped double-buffering idiom: no explicit wrac, so the
+    // launch/join analysis warns on every un-joined path — but the
+    // blocking mvfcr drain keeps every warning below error severity.
+    (
+        "crates/isa/tests/fixtures/overlap_pipeline.oua",
+        include_str!("../../isa/tests/fixtures/overlap_pipeline.oua"),
+        3,
+    ),
+];
+
+#[test]
+fn every_fixture_assembles_and_verifies_without_errors() {
+    let config = VerifyConfig::default();
+    for (name, source, expected_warnings) in FIXTURES {
+        let program = assemble(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let analysis = verify(&program, &config);
+        assert_eq!(
+            analysis.error_count(),
+            0,
+            "{name} must carry no error-severity diagnostics: {analysis}"
+        );
+        assert_eq!(
+            analysis.warning_count(),
+            *expected_warnings,
+            "{name}: warning set drifted: {analysis}"
+        );
+    }
+}

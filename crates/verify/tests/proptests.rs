@@ -1,0 +1,111 @@
+//! Randomized agreement between the optimizer and the verifier.
+//!
+//! The optimizer (`ouessant_isa::opt`) rewrites transfer sequences —
+//! coalescing bursts and rolling unrolled streams into
+//! `ldc`/`mvtcr`/`djnz` loops. Those rewrites change the *shape* the
+//! analyzer has to reason about (immediate offsets become register
+//! walks), so the key invariant is: the verifier's verdict must survive
+//! optimization in both directions. Clean microcode stays clean, and
+//! defective microcode stays flagged.
+
+use ouessant_isa::opt::optimize;
+use ouessant_isa::{assemble, Program, ProgramBuilder, FIGURE4_SOURCE};
+use ouessant_sim::XorShift64;
+use ouessant_verify::{verify, VerifyConfig};
+
+const CASES: u32 = 200;
+
+/// A random well-formed offload job: a chunked input stream into bank
+/// 1, a launch, a chunked output stream from bank 2 — every burst
+/// inside the 16384-word bank window by construction.
+fn random_clean_job(rng: &mut XorShift64) -> Program {
+    const CHUNKS: [u16; 6] = [4, 8, 16, 32, 64, 128];
+    let chunk_in = CHUNKS[rng.gen_range_u32(0..6) as usize];
+    let chunk_out = CHUNKS[rng.gen_range_u32(0..6) as usize];
+    let total_in = u32::from(chunk_in) * rng.gen_range_u32(1..40);
+    let total_out = u32::from(chunk_out) * rng.gen_range_u32(1..40);
+    let start_in = rng.gen_range_u32(0..(16384 - total_in)) as u16;
+    let start_out = rng.gen_range_u32(0..(16384 - total_out)) as u16;
+    ProgramBuilder::new()
+        .transfer_to_coprocessor(1, start_in, total_in, chunk_in, 0)
+        .expect("in-bounds by construction")
+        .execs()
+        .transfer_from_coprocessor(2, start_out, total_out, chunk_out, 0)
+        .expect("in-bounds by construction")
+        .eop()
+        .finish()
+        .expect("structurally valid")
+}
+
+/// A random job whose final input burst crosses the end of the bank
+/// window — exactly one defect, placed where loop roll-up will hide it
+/// behind a register walk.
+fn random_overflowing_job(rng: &mut XorShift64) -> Program {
+    let burst = [16u16, 32, 64, 128, 256][rng.gen_range_u32(0..5) as usize];
+    // The burst starts inside the window but ends past it.
+    let overhang = rng.gen_range_u32(1..u32::from(burst)) as u16;
+    let start = 16384 - burst + overhang;
+    ProgramBuilder::new()
+        .mvtc(1, start, burst, 0)
+        .expect("offset and burst are field-valid")
+        .execs()
+        .eop()
+        .finish()
+        .expect("structurally valid")
+}
+
+#[test]
+fn optimized_clean_programs_stay_clean() {
+    let mut rng = XorShift64::new(0x0E55_A017);
+    let config = VerifyConfig::default();
+    for case in 0..CASES {
+        let program = random_clean_job(&mut rng);
+        let before = verify(&program, &config);
+        assert!(
+            before.is_clean(),
+            "case {case}: generator produced a flagged program: {before}"
+        );
+        let (optimized, stats) = optimize(&program).expect("optimizer preserves validity");
+        let after = verify(&optimized, &config);
+        assert!(
+            after.is_clean(),
+            "case {case}: optimization ({stats:?}) introduced diagnostics: {after}"
+        );
+    }
+}
+
+#[test]
+fn optimized_defective_programs_stay_flagged() {
+    let mut rng = XorShift64::new(0xBAD_C0DE);
+    let config = VerifyConfig::default();
+    for case in 0..CASES {
+        let program = random_overflowing_job(&mut rng);
+        let before = verify(&program, &config);
+        assert!(
+            before.has_errors(),
+            "case {case}: generator failed to produce an overflow"
+        );
+        let (optimized, _) = optimize(&program).expect("optimizer preserves validity");
+        let after = verify(&optimized, &config);
+        assert!(
+            after.has_errors(),
+            "case {case}: optimization laundered a bank overflow"
+        );
+    }
+}
+
+#[test]
+fn figure4_microcode_survives_optimization_clean() {
+    let program = assemble(FIGURE4_SOURCE).unwrap();
+    let config = VerifyConfig::default();
+    assert!(verify(&program, &config).is_clean());
+    let (optimized, stats) = optimize(&program).unwrap();
+    assert!(
+        stats.coalesced > 0 || stats.loops_created > 0,
+        "Figure 4's unrolled stream is the optimizer's showcase"
+    );
+    assert!(
+        verify(&optimized, &config).is_clean(),
+        "the rolled Figure 4 loop must verify clean through the register walk"
+    );
+}

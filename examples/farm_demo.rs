@@ -17,6 +17,7 @@ use ouessant_farm::{
     DprAffinityPolicy, Farm, FarmConfig, FifoPolicy, JobId, JobKind, JobSpec, RoundRobinPolicy,
     SchedPolicy, SubmitError,
 };
+use ouessant_isa::ProgramBuilder;
 use ouessant_sim::XorShift64;
 
 const IDCT: JobKind = JobKind::Idct;
@@ -150,11 +151,52 @@ fn swap_experiment() -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// The static-analysis admission gate in action: a client offering
+/// defective custom microcode is bounced with the analyzer's
+/// diagnostics while a job already on a worker runs to completion.
+fn admission_experiment() -> Result<(), Box<dyn Error>> {
+    println!("── custom-microcode admission gate (ouessant-verify) ──");
+    let mut farm = build_farm(Box::new(FifoPolicy::new()));
+    let input: Vec<u32> = (1..=48).collect();
+    farm.submit(JobSpec::new(COPY3, input))?;
+    for _ in 0..20 {
+        farm.tick();
+    }
+
+    // A 256-word burst starting at word offset 16256 overruns the
+    // 16384-word bank window; the analyzer rejects it at submission.
+    let overflow = ProgramBuilder::new()
+        .mvtc(1, 16256, 256, 0)?
+        .execs()
+        .eop()
+        .finish()?;
+    match farm.submit(JobSpec::new(COPY3, vec![7; 48]).with_microcode(overflow)) {
+        Err(SubmitError::RejectedMicrocode { diagnostics }) => {
+            println!("  rejected a custom-microcode job before it touched a worker:");
+            for d in diagnostics.diagnostics() {
+                println!("    {d}");
+            }
+        }
+        other => panic!("expected a microcode rejection, got {other:?}"),
+    }
+
+    farm.run_until_idle(1_000_000_000)?;
+    let report = farm.report();
+    println!(
+        "  admission: {} completed, {} rejected (unsafe microcode) — in-flight work undisturbed\n",
+        report.jobs_completed, report.rejected_unsafe
+    );
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.rejected_unsafe, 1);
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     let jobs = workload(0xDA7E_2016);
     println!("ouessant-farm demo: {TOTAL_JOBS} mixed jobs (idct/dft64/copy×3) on a 3-OCP pool\n");
     serve(Box::new(FifoPolicy::new()), &jobs)?;
     serve(Box::new(RoundRobinPolicy::new()), &jobs)?;
     serve(Box::new(DprAffinityPolicy::new()), &jobs)?;
-    swap_experiment()
+    swap_experiment()?;
+    admission_experiment()
 }

@@ -18,6 +18,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo build --release (offline)"
 cargo build --release --offline --workspace
 
+echo "==> microcode fixture verification (ouas verify)"
+bash scripts/verify_fixtures.sh
+
 echo "==> cargo test (offline, all workspace members)"
 cargo test -q --offline --workspace
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Static-analysis gate over every microcode fixture in the repository:
+# each .oua source under examples/ and crates/isa/tests/ must assemble
+# and verify with zero error-severity diagnostics. Warnings are printed
+# but tolerated (see crates/isa/tests/fixtures/overlap_pipeline.oua for
+# a deliberately warning-carrying idiom).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release --offline -p ouessant-verify --bin ouas
+OUAS=target/release/ouas
+
+status=0
+checked=0
+while IFS= read -r -d '' fixture; do
+  echo "==> ouas verify $fixture"
+  if ! "$OUAS" verify "$fixture"; then
+    status=1
+  fi
+  checked=$((checked + 1))
+done < <(find examples crates/isa/tests -name '*.oua' -print0 | sort -z)
+
+if [ "$checked" -eq 0 ]; then
+  echo "error: no .oua fixtures found — tree layout changed?" >&2
+  exit 1
+fi
+echo "==> $checked fixture(s) verified"
+exit "$status"

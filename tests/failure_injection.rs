@@ -148,6 +148,42 @@ fn oversized_burst_for_fifo_deadlock_is_detectable() {
 }
 
 #[test]
+fn driver_gate_blocks_microcode_the_bypass_proves_faults() {
+    // The driver's static gate and the runtime agree. A 256-word burst
+    // from word offset 16256 overruns the 16384-word bank window: the
+    // analyzer rejects the load, and forcing the same program past the
+    // gate with the fault-injection bypass reproduces the exact
+    // failure it prevents — the DMA runs off the end of mapped SRAM
+    // and the controller faults.
+    use ouessant_soc::{DriverError, OsModel, OuessantDevice};
+    let config = SocConfig {
+        // Exactly the driver's three 16384-word buffers, so the
+        // overrunning burst leaves mapped memory instead of silently
+        // reading a neighbour.
+        sram_words: 3 * 16384,
+        ..SocConfig::default()
+    };
+    let program = assemble("mvtc BANK2,16256,DMA256,FIFO0\neop").unwrap();
+    let mut dev = OuessantDevice::open_with_config(
+        Box::new(PassthroughRac::new(0)),
+        OsModel::Baremetal,
+        config,
+    );
+    let err = dev.load_microcode(&program).unwrap_err();
+    assert!(matches!(err, DriverError::RejectedMicrocode(_)), "{err:?}");
+    assert!(err.to_string().contains("bank-overflow"), "{err}");
+
+    dev.load_microcode_unchecked(&program)
+        .expect("the bypass loads what the gate rejects");
+    match dev.submit_and_wait() {
+        Err(DriverError::Soc(SocError::Ocp(fault))) => {
+            assert!(matches!(fault, ExecError::Bus(_)), "{fault:?}");
+        }
+        other => panic!("expected the controller to fault, got {other:?}"),
+    }
+}
+
+#[test]
 fn fault_visible_in_debug_state_register() {
     let (mut bus, mut ocp) = fixture();
     ocp.regs().set_prog_size(2).unwrap();
