@@ -64,6 +64,15 @@ pub enum ExecError {
         /// Number of slots the accelerator offers (0 for static RACs).
         available: usize,
     },
+    /// A fault forced from outside through
+    /// [`Controller::inject_fault`] — a chaos-testing harness standing
+    /// in for radiation upsets, clock glitches or logic bugs the
+    /// simulation does not model organically. The controller itself
+    /// never raises it.
+    Injected {
+        /// Harness-supplied cause tag.
+        cause: &'static str,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -82,6 +91,7 @@ impl fmt::Display for ExecError {
                 f,
                 "rcfg slot {slot} invalid ({available} configurations available)"
             ),
+            ExecError::Injected { cause } => write!(f, "injected fault: {cause}"),
         }
     }
 }
@@ -309,6 +319,50 @@ impl Controller {
 
     fn set_fault(&mut self, e: ExecError) {
         self.state = ControllerState::Faulted(e);
+    }
+
+    /// Forces the controller into [`ControllerState::Faulted`] with
+    /// `error`, exactly as if the FSM had raised it itself.
+    ///
+    /// This is the fault-injection seam for chaos testing and
+    /// fault-containment experiments: a serving layer can kill a worker
+    /// mid-job and exercise its recovery path without building a broken
+    /// bus or corrupt microcode first. Any bus transaction in flight
+    /// keeps running to completion on the bus side (hardware cannot
+    /// recall an issued burst); [`Controller::try_reset`] drains it.
+    pub fn inject_fault(&mut self, error: ExecError) {
+        self.set_fault(error);
+    }
+
+    /// Attempts to return a faulted (or idle) controller to
+    /// [`ControllerState::Idle`] so it can accept a new start.
+    ///
+    /// Recovery must not leave a phantom bus transaction behind: if the
+    /// DMA port still has a burst outstanding the reset is refused and
+    /// `false` is returned — keep ticking the bus and retry. A waiting
+    /// completion (the burst finished after the fault) is discarded.
+    /// Program store, loop counters, offset registers and any pending
+    /// transfer are cleared; cumulative statistics are kept. A program
+    /// installed with [`Controller::preload_program`] survives the
+    /// reset (standalone mode has no bank-0 copy to refetch).
+    pub fn try_reset(&mut self, bus: &mut dyn SystemBus) -> bool {
+        // Retire a completion that landed after the fault, then make
+        // sure nothing is still in flight.
+        let _ = self.dma.take_completion(bus);
+        if self.dma.is_pending(bus) {
+            return false;
+        }
+        self.state = ControllerState::Idle;
+        self.current = None;
+        self.pending_transfer = None;
+        self.pc = 0;
+        self.counters = [0; 4];
+        self.offset_regs = [0; 4];
+        if !self.preloaded {
+            self.program.clear();
+            self.prog_len = 0;
+        }
+        true
     }
 
     fn retire(&mut self) {

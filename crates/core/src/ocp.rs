@@ -174,6 +174,32 @@ impl Ocp {
         self.controller.preload_program(words);
     }
 
+    /// Forces the controller into its faulted state with `error` (see
+    /// [`Controller::inject_fault`]) — the chaos-testing seam a serving
+    /// layer uses to exercise fault containment and recovery.
+    pub fn inject_fault(&mut self, error: ExecError) {
+        self.controller.inject_fault(error);
+    }
+
+    /// Attempts to recover a faulted coprocessor to a clean idle state:
+    /// the controller FSM is reset ([`Controller::try_reset`]), the RAC
+    /// and both FIFOs are returned to power-on state (stale words from
+    /// the dead job must never leak into the next one), and any
+    /// pending completion event or raised interrupt is discarded.
+    ///
+    /// Returns `false` while a DMA burst issued before the fault is
+    /// still in flight — keep ticking the bus and retry; the reset
+    /// refuses to orphan a live transaction.
+    pub fn try_recover(&mut self, bus: &mut dyn SystemBus) -> bool {
+        if !self.controller.try_reset(bus) {
+            return false;
+        }
+        self.socket.reset();
+        self.pending_event = None;
+        self.irq.clear();
+        true
+    }
+
     /// Advances the whole coprocessor one clock cycle: the RAC always
     /// runs (it is an independent piece of hardware); the controller
     /// FSM steps alongside it.

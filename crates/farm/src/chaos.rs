@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the farm.
+//!
+//! A [`FaultPlan`] is a seeded chaos campaign: every cycle it rolls a
+//! per-seam die for each busy worker and, on a hit, forces a fault
+//! through the same interfaces a real integration bug would use. The
+//! generator is the repo's own XorShift64, so a campaign is fully
+//! reproducible from its [`ChaosConfig`] — a failing CI seed replays
+//! bit-exact on a laptop.
+//!
+//! Four fault seams are armed, matching the failure modes the paper's
+//! OCP isolates the host from:
+//!
+//! * **controller** — the FSM dies mid-job in a compute state
+//!   ([`ExecError::Injected`]), standing in for decode faults and logic
+//!   upsets;
+//! * **bus** — a DMA burst comes back with a slave error
+//!   ([`BusError::Fault`]) while the controller is in a transfer state;
+//! * **bitstream** — a DPR load is poisoned mid-`rcfg`
+//!   ([`ExecError::Reconfig`]), leaving the slot in a dead
+//!   configuration until recovery reloads configuration 0;
+//! * **allocator** — a rogue tenant squats on the largest free extent
+//!   of shared job memory for a while, forcing admission-time
+//!   exhaustion ([`AllocError::OutOfMemory`] surfacing as dispatch
+//!   stalls).
+//!
+//! The first three are *worker* faults and exercise the
+//! quarantine/retry machinery; the fourth is a *resource* fault and
+//! exercises backpressure. Injection only targets workers that are
+//! busy and not already faulted — faulting an idle worker would test
+//! nothing the job path cares about.
+//!
+//! [`AllocError::OutOfMemory`]: ouessant_soc::alloc::AllocError::OutOfMemory
+
+use ouessant::ExecError;
+use ouessant_sim::bus::{BusError, SlaveFault};
+use ouessant_sim::rng::XorShift64;
+use ouessant_soc::alloc::{BankAllocator, Region};
+
+use crate::worker::Worker;
+use ouessant::ControllerState;
+
+/// Fault rates for one chaos campaign.
+///
+/// Each `*_one_in` field is the per-cycle, per-eligible-worker odds of
+/// that seam faulting: `one_in = 5000` arms roughly one fault per 5000
+/// eligible cycles; `0` disarms the seam.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// RNG seed; two campaigns with equal configs replay identically.
+    pub seed: u64,
+    /// Odds of a mid-job controller fault per busy-worker cycle.
+    pub controller_one_in: u32,
+    /// Odds of a DMA slave fault per transfer-state cycle.
+    pub bus_one_in: u32,
+    /// Odds of a poisoned bitstream per `rcfg`-in-flight cycle.
+    pub bitstream_one_in: u32,
+    /// Odds per cycle (while work is pending) of squatting on shared
+    /// job memory.
+    pub alloc_one_in: u32,
+    /// How long an allocator squat holds its lease, in cycles.
+    pub alloc_hold: u64,
+}
+
+impl ChaosConfig {
+    /// A campaign with all four seams armed at moderate rates.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            controller_one_in: 25_000,
+            bus_one_in: 18_000,
+            bitstream_one_in: 3_000,
+            alloc_one_in: 10_000,
+            alloc_hold: 3_000,
+        }
+    }
+}
+
+/// What a campaign actually injected, by seam.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Mid-job controller faults forced.
+    pub controller_faults: u64,
+    /// DMA slave faults forced.
+    pub bus_faults: u64,
+    /// Bitstream loads poisoned.
+    pub bitstream_faults: u64,
+    /// Shared-memory squats taken.
+    pub alloc_squats: u64,
+}
+
+impl ChaosStats {
+    /// Total worker faults injected (squats stress admission, not
+    /// workers).
+    #[must_use]
+    pub fn worker_faults(&self) -> u64 {
+        self.controller_faults + self.bus_faults + self.bitstream_faults
+    }
+}
+
+/// An allocator squat in progress.
+#[derive(Debug)]
+struct Squat {
+    lease: Region,
+    release_at: u64,
+}
+
+/// A seeded, armed chaos campaign. Build one from a [`ChaosConfig`]
+/// and hand it to [`Farm::arm_chaos`].
+///
+/// [`Farm::arm_chaos`]: crate::Farm::arm_chaos
+#[derive(Debug)]
+pub struct FaultPlan {
+    rng: XorShift64,
+    config: ChaosConfig,
+    stats: ChaosStats,
+    squat: Option<Squat>,
+}
+
+impl FaultPlan {
+    /// Arms a campaign.
+    #[must_use]
+    pub fn new(config: ChaosConfig) -> Self {
+        Self {
+            rng: XorShift64::new(config.seed),
+            config,
+            stats: ChaosStats::default(),
+            squat: None,
+        }
+    }
+
+    /// What has been injected so far.
+    #[must_use]
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    fn roll(&mut self, one_in: u32) -> bool {
+        one_in > 0 && self.rng.gen_range_u32(0..one_in) == 0
+    }
+
+    /// One chaos step at cycle `now`, run by the farm after workers
+    /// tick. `work_pending` gates new allocator squats: a squat is only
+    /// worth taking while there are jobs it can starve, and never
+    /// squatting an idle farm guarantees `run_until_idle` terminates.
+    pub(crate) fn tick(
+        &mut self,
+        now: u64,
+        workers: &mut [Worker],
+        alloc: &mut BankAllocator,
+        work_pending: bool,
+    ) {
+        for worker in workers.iter_mut() {
+            if worker.active.is_none() || worker.ocp.fault().is_some() {
+                continue;
+            }
+            let state = worker.ocp.controller().state().clone();
+            match state {
+                ControllerState::ReconfigWait { .. } => {
+                    if self.roll(self.config.bitstream_one_in) {
+                        let slot = worker.loaded_config() as u16;
+                        let available = worker.caps().len();
+                        worker
+                            .ocp
+                            .inject_fault(ExecError::Reconfig { slot, available });
+                        self.stats.bitstream_faults += 1;
+                    }
+                }
+                ControllerState::LoadProgram | ControllerState::TransferBusWait => {
+                    if self.roll(self.config.bus_one_in) {
+                        worker
+                            .ocp
+                            .inject_fault(ExecError::Bus(BusError::Fault(SlaveFault {
+                                reason: "chaos: slave error response on DMA burst".to_string(),
+                            })));
+                        self.stats.bus_faults += 1;
+                    }
+                }
+                ControllerState::Idle | ControllerState::Faulted(_) => {}
+                _ => {
+                    if self.roll(self.config.controller_one_in) {
+                        worker.ocp.inject_fault(ExecError::Injected {
+                            cause: "chaos: controller upset",
+                        });
+                        self.stats.controller_faults += 1;
+                    }
+                }
+            }
+        }
+
+        if let Some(squat) = &self.squat {
+            if now >= squat.release_at {
+                let squat = self.squat.take().expect("checked above");
+                alloc.free(squat.lease).expect("squat lease is live");
+            }
+        }
+        if self.squat.is_none() && work_pending && self.roll(self.config.alloc_one_in) {
+            let words = alloc.largest_free();
+            if words > 0 {
+                let lease = alloc.alloc(words).expect("largest_free is allocatable");
+                self.squat = Some(Squat {
+                    lease,
+                    release_at: now + self.config.alloc_hold,
+                });
+                self.stats.alloc_squats += 1;
+            }
+        }
+    }
+
+    /// Whether the plan is still holding a shared-memory squat (the
+    /// farm keeps ticking until it lets go, so the lease ledger drains
+    /// to zero).
+    pub(crate) fn holding_squat(&self) -> bool {
+        self.squat.is_some()
+    }
+
+    /// Releases a held squat early (end of run).
+    pub(crate) fn release_squat(&mut self, alloc: &mut BankAllocator) {
+        if let Some(squat) = self.squat.take() {
+            alloc.free(squat.lease).expect("squat lease is live");
+        }
+    }
+}

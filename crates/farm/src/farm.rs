@@ -1,20 +1,78 @@
 //! The farm: a pool of OCP workers serving a job queue in simulated
 //! time.
+//!
+//! ## Fault tolerance
+//!
+//! The farm survives worker deaths. When a controller faults mid-job —
+//! organically or through an armed [`FaultPlan`] — the farm classifies
+//! the fault, frees the dead job's shared-memory leases, counts the
+//! fault against the worker's circuit breaker, starts draining the
+//! worker's DMA, and parks the job for a bounded-backoff retry on a
+//! *different* worker where one exists. Only when the retry budget is
+//! exhausted, or no live worker can serve the kind, does a job end as
+//! [`JobOutcome::FailedPermanent`] — and it still gets a record, so
+//! the books always balance: `admitted = completed + failed`.
+//!
+//! Legacy abort-on-fault behaviour survives behind
+//! [`FaultConfig::fail_fast`] for tests that want a fault loud.
+//!
+//! [`JobOutcome::FailedPermanent`]: crate::job::JobOutcome::FailedPermanent
 
 use std::error::Error;
 use std::fmt;
 
+use ouessant::ExecError;
 use ouessant_isa::operands::MAX_PROGRAM_LEN;
 use ouessant_sim::bus::{Bus, BusConfig};
 use ouessant_sim::memory::{Sram, SramConfig};
 use ouessant_soc::alloc::{AllocError, BankAllocator};
 use ouessant_verify::{verify, VerifyConfig};
 
-use crate::job::{JobId, JobKind, JobRecord, JobSpec};
+use crate::chaos::{ChaosStats, FaultPlan};
+use crate::job::{FailReason, JobId, JobKind, JobOutcome, JobRecord, JobSpec};
 use crate::policy::{SchedPolicy, WorkerView};
-use crate::queue::{SubmitError, SubmitQueue};
+use crate::queue::{PendingJob, SubmitError, SubmitQueue};
 use crate::stats::{FarmReport, WorkerReport};
-use crate::worker::{adapt_custom_program, build_program, JobRegions, Worker};
+use crate::worker::{adapt_custom_program, build_program, JobRegions, Worker, WorkerFaultKind};
+
+/// Fault-handling policy: retry budget, circuit breaker, quarantine.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Dispatch attempts a job may consume before it fails permanently.
+    pub max_attempts: u32,
+    /// Base backoff before a bounced job re-enters the queue; attempt
+    /// `n` waits `n * retry_backoff` cycles (linear backoff).
+    pub retry_backoff: u64,
+    /// Width of the faults-in-window circuit breaker, in cycles. Also
+    /// the clean-streak length that promotes `Degraded` back to
+    /// `Healthy`.
+    pub fault_window: u64,
+    /// Faults within one window that trip the breaker and quarantine
+    /// the worker.
+    pub quarantine_threshold: u32,
+    /// Cycles a quarantine lasts before the worker is re-admitted on
+    /// probation (one more fault re-quarantines instantly). `None`
+    /// makes every quarantine permanent.
+    pub quarantine_cooldown: Option<u64>,
+    /// Restore the pre-fault-tolerance behaviour: the first worker
+    /// fault aborts [`Farm::run_until_idle`] with
+    /// [`FarmError::WorkerFault`] (the job still fails cleanly and its
+    /// leases are still freed — nothing leaks even when failing fast).
+    pub fail_fast: bool,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            retry_backoff: 1_000,
+            fault_window: 50_000,
+            quarantine_threshold: 3,
+            quarantine_cooldown: Some(200_000),
+            fail_fast: false,
+        }
+    }
+}
 
 /// Static farm parameters.
 #[derive(Debug, Clone)]
@@ -33,6 +91,8 @@ pub struct FarmConfig {
     pub bus: BusConfig,
     /// Wait states of the shared memory.
     pub sram: SramConfig,
+    /// Fault-handling policy.
+    pub faults: FaultConfig,
 }
 
 impl Default for FarmConfig {
@@ -44,6 +104,7 @@ impl Default for FarmConfig {
             fifo_depth: 1024,
             bus: BusConfig::default(),
             sram: SramConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -55,17 +116,19 @@ pub enum FarmError {
     Stalled {
         /// Cycles simulated before giving up.
         cycles: u64,
-        /// Jobs still queued.
+        /// Jobs still queued or parked for retry.
         queued: usize,
         /// Jobs still on workers.
         in_flight: usize,
     },
-    /// A worker's controller faulted (microcode or integration bug).
+    /// A worker's controller faulted while [`FaultConfig::fail_fast`]
+    /// was set (with fault tolerance on — the default — worker faults
+    /// are absorbed and never surface as errors).
     WorkerFault {
         /// Pool index of the dead worker.
         worker: usize,
-        /// The controller's fault description.
-        detail: String,
+        /// The classified fault.
+        fault: WorkerFaultKind,
     },
 }
 
@@ -80,8 +143,8 @@ impl fmt::Display for FarmError {
                 f,
                 "farm stalled after {cycles} cycles ({queued} queued, {in_flight} in flight)"
             ),
-            FarmError::WorkerFault { worker, detail } => {
-                write!(f, "worker {worker} faulted: {detail}")
+            FarmError::WorkerFault { worker, fault } => {
+                write!(f, "worker {worker} faulted: {fault}")
             }
         }
     }
@@ -93,6 +156,13 @@ impl Error for FarmError {}
 const OCP_BASE: u32 = 0x8000_0000;
 /// Spacing between worker register windows.
 const OCP_STRIDE: u32 = 0x1_0000;
+
+/// A fault-bounced job waiting out its retry backoff.
+#[derive(Debug)]
+struct ParkedJob {
+    job: PendingJob,
+    ready_at: u64,
+}
 
 /// A multi-OCP serving pool on one shared bus.
 ///
@@ -125,6 +195,16 @@ pub struct Farm {
     next_id: u64,
     /// Cycles dispatch was blocked on shared-memory pressure.
     alloc_stalls: u64,
+    /// Fault-bounced jobs waiting out their retry backoff.
+    parked: Vec<ParkedJob>,
+    /// Armed chaos campaign, if any.
+    chaos: Option<FaultPlan>,
+    worker_faults: u64,
+    retries: u64,
+    quarantines: u64,
+    /// Set by a fault under `fail_fast`; `run_until_idle` converts it
+    /// into an `Err` at the end of the tick.
+    fault_abort: Option<(usize, WorkerFaultKind)>,
 }
 
 impl fmt::Debug for Farm {
@@ -133,6 +213,7 @@ impl fmt::Debug for Farm {
             .field("policy", &self.policy.name())
             .field("workers", &self.workers.len())
             .field("queued", &self.queue.len())
+            .field("parked", &self.parked.len())
             .field("completed", &self.completed.len())
             .finish_non_exhaustive()
     }
@@ -160,6 +241,12 @@ impl Farm {
             completed: Vec::new(),
             next_id: 0,
             alloc_stalls: 0,
+            parked: Vec::new(),
+            chaos: None,
+            worker_faults: 0,
+            retries: 0,
+            quarantines: 0,
+            fault_abort: None,
         }
     }
 
@@ -192,6 +279,30 @@ impl Farm {
         self.workers.len() - 1
     }
 
+    /// Arms a seeded chaos campaign: from the next tick on, `plan`
+    /// rolls its per-seam dice every cycle (see [`FaultPlan`]).
+    pub fn arm_chaos(&mut self, plan: FaultPlan) {
+        self.chaos = Some(plan);
+    }
+
+    /// What the armed chaos campaign has injected so far (`None` when
+    /// no campaign is armed).
+    #[must_use]
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(FaultPlan::stats)
+    }
+
+    /// Forces `error` onto worker `worker`'s controller, exactly as a
+    /// chaos campaign would — the deterministic single-shot seam for
+    /// tests that need one specific fault at one specific moment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn inject_worker_fault(&mut self, worker: usize, error: ExecError) {
+        self.workers[worker].ocp.inject_fault(error);
+    }
+
     /// The workers in the pool.
     #[must_use]
     pub fn workers(&self) -> &[Worker] {
@@ -210,10 +321,16 @@ impl Farm {
         self.bus.now().count()
     }
 
-    /// Jobs waiting in the queue.
+    /// Jobs waiting in the queue (excluding parked retries).
     #[must_use]
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Fault-bounced jobs waiting out their retry backoff.
+    #[must_use]
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
     }
 
     /// Jobs currently on workers.
@@ -222,13 +339,14 @@ impl Farm {
         self.workers.iter().filter(|w| !w.is_idle()).count()
     }
 
-    /// Completed jobs, in completion order.
+    /// Finished jobs (completed *and* permanently failed), in finish
+    /// order.
     #[must_use]
     pub fn records(&self) -> &[JobRecord] {
         &self.completed
     }
 
-    /// Drains the completed-job records.
+    /// Drains the finished-job records.
     pub fn take_records(&mut self) -> Vec<JobRecord> {
         std::mem::take(&mut self.completed)
     }
@@ -237,6 +355,13 @@ impl Farm {
     #[must_use]
     pub fn alloc_stalls(&self) -> u64 {
         self.alloc_stalls
+    }
+
+    /// Words of shared job memory currently leased (0 at idle — the
+    /// invariant the chaos tests pin).
+    #[must_use]
+    pub fn leased_words(&self) -> u32 {
+        self.alloc.stats().words_in_use
     }
 
     /// Submits a job.
@@ -282,7 +407,10 @@ impl Farm {
                 });
             }
         }
-        let serviceable = self.workers.iter().any(|w| w.caps().contains(&spec.kind));
+        // Admission asks for a *live* capable worker: a kind whose only
+        // workers died permanently is rejected up front rather than
+        // admitted into a queue it can never leave.
+        let serviceable = self.kind_serviceable(spec.kind);
         let payload_limit = u32::try_from(self.config.fifo_depth).unwrap_or(u32::MAX);
         let id = JobId(self.next_id);
         let admitted = self
@@ -292,40 +420,91 @@ impl Farm {
         Ok(admitted)
     }
 
-    /// Advances the pool one clock cycle: dispatch, then every worker,
-    /// then the bus, then completion collection.
+    /// Whether any worker that is not permanently dead can serve
+    /// `kind` (quarantined-with-cooldown workers count: they will be
+    /// back).
+    fn kind_serviceable(&self, kind: JobKind) -> bool {
+        self.workers
+            .iter()
+            .any(|w| !w.is_permanently_dead() && w.caps().contains(&kind))
+    }
+
+    /// Whether a live worker *other than* `except` can serve `kind`.
+    fn alternative_worker_exists(&self, kind: JobKind, except: usize) -> bool {
+        self.workers
+            .iter()
+            .enumerate()
+            .any(|(i, w)| i != except && !w.is_permanently_dead() && w.caps().contains(&kind))
+    }
+
+    /// Advances the pool one clock cycle: unpark due retries, dispatch,
+    /// every worker, the chaos plan (if armed), the bus, completion
+    /// collection, fault handling, health transitions.
     pub fn tick(&mut self) {
+        let now = self.now();
+        self.unpark_ready(now);
         self.dispatch();
         for w in &mut self.workers {
             w.tick(&mut self.bus);
         }
+        let work_pending = !self.queue.is_empty()
+            || !self.parked.is_empty()
+            || self.workers.iter().any(|w| !w.is_idle());
+        if let Some(plan) = self.chaos.as_mut() {
+            plan.tick(now, &mut self.workers, &mut self.alloc, work_pending);
+        }
         self.bus.tick();
         self.collect_completions();
+        self.handle_faults();
+        let now = self.now();
+        for w in &mut self.workers {
+            w.advance_health(&mut self.bus, now, &self.config.faults);
+        }
     }
 
-    /// Ticks until the queue is empty and every worker is idle.
+    /// Ticks until the queue and retry park are empty and every worker
+    /// is idle (an armed chaos plan must also have released any
+    /// shared-memory squat, so the lease ledger is provably empty at
+    /// return).
     ///
     /// Returns the number of cycles simulated by this call.
+    ///
+    /// Worker faults do **not** abort the run: the farm quarantines,
+    /// reschedules and keeps serving, and jobs the farm gave up on are
+    /// reported through their [`JobRecord`]'s
+    /// [`outcome`](JobRecord::outcome) — unless
+    /// [`FaultConfig::fail_fast`] restores the legacy abort.
     ///
     /// # Errors
     ///
     /// [`FarmError::Stalled`] after `fuel` cycles with work pending,
-    /// [`FarmError::WorkerFault`] if a controller dies.
+    /// [`FarmError::WorkerFault`] on the first fault in fail-fast mode.
     pub fn run_until_idle(&mut self, fuel: u64) -> Result<u64, FarmError> {
         let start = self.now();
-        while !self.queue.is_empty() || self.in_flight() > 0 {
+        loop {
+            let squatting = self.chaos.as_ref().is_some_and(FaultPlan::holding_squat);
+            if self.queue.is_empty()
+                && self.parked.is_empty()
+                && self.in_flight() == 0
+                && !squatting
+            {
+                break;
+            }
             if self.now() - start >= fuel {
+                // Give the ledger back its squat before reporting, so a
+                // stalled farm still leaks nothing.
+                if let Some(plan) = self.chaos.as_mut() {
+                    plan.release_squat(&mut self.alloc);
+                }
                 return Err(FarmError::Stalled {
                     cycles: self.now() - start,
-                    queued: self.queue.len(),
+                    queued: self.queue.len() + self.parked.len(),
                     in_flight: self.in_flight(),
                 });
             }
             self.tick();
-            for (i, w) in self.workers.iter().enumerate() {
-                if let Some(detail) = w.fault() {
-                    return Err(FarmError::WorkerFault { worker: i, detail });
-                }
+            if let Some((worker, fault)) = self.fault_abort.take() {
+                return Err(FarmError::WorkerFault { worker, fault });
             }
         }
         Ok(self.now() - start)
@@ -353,6 +532,9 @@ impl Farm {
                     bus_grants: stats.grants,
                     bus_beats: stats.beats,
                     contention_cycles: stats.contention_cycles,
+                    health: w.health(),
+                    faults: w.faults_total(),
+                    quarantines: w.quarantines_total(),
                 }
             })
             .collect();
@@ -363,6 +545,11 @@ impl Farm {
             &self.queue,
             self.alloc.stats(),
             workers,
+            crate::stats::FaultTally {
+                worker_faults: self.worker_faults,
+                retries: self.retries,
+                quarantines: self.quarantines,
+            },
         )
     }
 
@@ -379,7 +566,9 @@ impl Farm {
                 .enumerate()
                 .map(|(i, w)| WorkerView {
                     index: i,
-                    idle: w.is_idle(),
+                    // "Idle" to a policy means *can take a job now*:
+                    // recovering and quarantined workers are busy.
+                    idle: w.is_dispatchable(),
                     caps: w.caps(),
                     loaded: w.loaded_config(),
                     swap_costs: &swap_costs[i],
@@ -390,10 +579,15 @@ impl Farm {
             };
             let worker = &self.workers[pick.worker_index];
             assert!(
-                worker.is_idle(),
-                "policy {} assigned a job to busy worker {}",
+                worker.is_dispatchable(),
+                "policy {} assigned a job to unavailable worker {}",
                 self.policy.name(),
                 pick.worker_index
+            );
+            assert!(
+                self.queue.pending()[pick.queue_index].allows_worker(pick.worker_index),
+                "policy {} put a retry back on the worker that faulted it",
+                self.policy.name()
             );
             let job_kind = self.queue.pending()[pick.queue_index].kind;
             let target = worker
@@ -488,17 +682,163 @@ impl Farm {
                 self.alloc.free(region).expect("regions leased at dispatch");
             }
             self.completed.push(JobRecord {
-                id: done.id,
-                kind: done.kind,
+                id: done.job.id,
+                kind: done.job.kind,
                 worker: wi,
-                submitted_at: done.submitted_at,
+                outcome: JobOutcome::Completed {
+                    attempts: done.job.attempts + 1,
+                },
+                submitted_at: done.job.submitted_at,
                 started_at: done.started_at,
                 completed_at: now,
                 swapped: done.swapped,
                 contention_cycles: contention_now - done.contention_at_start,
-                deadline: done.deadline,
+                deadline: done.job.deadline,
                 output,
             });
         }
+    }
+
+    /// Absorbs every newly faulted worker: classify, free the dead
+    /// job's leases (the pre-fault-tolerance code leaked them on
+    /// abort), punish the breaker, start recovery, and park the job
+    /// for retry or fail it permanently.
+    fn handle_faults(&mut self) {
+        let now = self.now();
+        for wi in 0..self.workers.len() {
+            let Some(kind) = self.workers[wi].fault() else {
+                continue;
+            };
+            if self.workers[wi].fault_acknowledged() {
+                // Still draining a fault we already processed.
+                continue;
+            }
+            self.worker_faults += 1;
+            let dead_job = self.workers[wi].take_faulted_job().map(|done| {
+                // The leak fix: a dead job's leases go back to the
+                // allocator the moment the fault is absorbed, exactly
+                // as a completion would return them.
+                for region in [done.regions.prog, done.regions.input, done.regions.output] {
+                    self.alloc.free(region).expect("regions leased at dispatch");
+                }
+                done.job
+            });
+
+            if self.config.faults.fail_fast {
+                self.workers[wi].acknowledge_fault();
+                if let Some(mut job) = dead_job {
+                    job.attempts += 1;
+                    self.fail_job(job, wi, now, FailReason::Fault(kind.clone()));
+                }
+                // First fault wins; later ones this tick are dropped on
+                // the floor of an already-aborting run.
+                self.fault_abort.get_or_insert((wi, kind));
+                continue;
+            }
+
+            let tripped = self.workers[wi].record_fault(now, &self.config.faults);
+            self.workers[wi].begin_recovery();
+            if tripped {
+                self.quarantines += 1;
+                if self.workers[wi].is_permanently_dead() {
+                    self.reap_hopeless_jobs(now);
+                }
+            }
+
+            let Some(mut job) = dead_job else {
+                // The fault landed between jobs (e.g. injected right at
+                // a completion edge): health bookkeeping only.
+                continue;
+            };
+            job.attempts += 1;
+            if job.attempts >= self.config.faults.max_attempts {
+                self.fail_job(job, wi, now, FailReason::Fault(kind));
+            } else if !self.kind_serviceable(job.kind) {
+                self.fail_job(job, wi, now, FailReason::NoServiceableWorker);
+            } else {
+                // Prefer a different worker; if this one is the only
+                // survivor, allow it again (better a same-worker retry
+                // than a lost job).
+                job.avoid_worker = if self.alternative_worker_exists(job.kind, wi) {
+                    Some(wi)
+                } else {
+                    None
+                };
+                let ready_at = now + self.config.faults.retry_backoff * u64::from(job.attempts);
+                self.parked.push(ParkedJob { job, ready_at });
+                self.retries += 1;
+            }
+        }
+    }
+
+    /// Moves parked jobs whose backoff expired back into the queue
+    /// (re-checking serviceability: the pool may have shrunk while
+    /// they waited).
+    fn unpark_ready(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.parked.len() {
+            if self.parked[i].ready_at > now {
+                i += 1;
+                continue;
+            }
+            let ParkedJob { mut job, .. } = self.parked.remove(i);
+            if !self.kind_serviceable(job.kind) {
+                let last_worker = job.avoid_worker.unwrap_or(0);
+                self.fail_job(job, last_worker, now, FailReason::NoServiceableWorker);
+                continue;
+            }
+            if let Some(avoid) = job.avoid_worker {
+                if !self.alternative_worker_exists(job.kind, avoid) {
+                    job.avoid_worker = None;
+                }
+            }
+            self.queue.requeue(job);
+        }
+    }
+
+    /// Fails every queued and parked job whose kind lost its last
+    /// live worker — recorded, not stranded.
+    fn reap_hopeless_jobs(&mut self, now: u64) {
+        let alive: Vec<JobKind> = self
+            .workers
+            .iter()
+            .filter(|w| !w.is_permanently_dead())
+            .flat_map(|w| w.caps().iter().copied())
+            .collect();
+        let dead = self.queue.reap_unserviceable(|kind| alive.contains(&kind));
+        for job in dead {
+            self.fail_job(job, 0, now, FailReason::NoServiceableWorker);
+        }
+        let mut i = 0;
+        while i < self.parked.len() {
+            if alive.contains(&self.parked[i].job.kind) {
+                i += 1;
+                continue;
+            }
+            let ParkedJob { job, .. } = self.parked.remove(i);
+            let last_worker = job.avoid_worker.unwrap_or(0);
+            self.fail_job(job, last_worker, now, FailReason::NoServiceableWorker);
+        }
+    }
+
+    /// Records a permanent failure (empty output, zero service time —
+    /// a faulted worker's output is never trusted).
+    fn fail_job(&mut self, job: PendingJob, worker: usize, now: u64, reason: FailReason) {
+        self.completed.push(JobRecord {
+            id: job.id,
+            kind: job.kind,
+            worker,
+            outcome: JobOutcome::FailedPermanent {
+                attempts: job.attempts,
+                reason,
+            },
+            submitted_at: job.submitted_at,
+            started_at: now,
+            completed_at: now,
+            swapped: false,
+            contention_cycles: 0,
+            deadline: job.deadline,
+            output: Vec::new(),
+        });
     }
 }

@@ -11,6 +11,8 @@ use ouessant_isa::Program;
 use ouessant_rac::dft::{dft_fixed, dft_latency};
 use ouessant_rac::idct::{idct_2d_fixed, BLOCK_LEN};
 
+use crate::worker::WorkerFaultKind;
+
 /// Identifies a submitted job for the lifetime of a farm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
@@ -176,15 +178,79 @@ impl JobSpec {
     }
 }
 
-/// A completed job: output payload plus the full timing breakdown.
+/// Why a job was given up on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// Every attempt died on a worker fault; this is the last one.
+    Fault(WorkerFaultKind),
+    /// No live worker can serve the kind any more (the only capable
+    /// workers are permanently quarantined).
+    NoServiceableWorker,
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::Fault(kind) => write!(f, "{kind}"),
+            FailReason::NoServiceableWorker => {
+                f.write_str("no serviceable worker left for this kind")
+            }
+        }
+    }
+}
+
+/// How an admitted job left the farm.
+///
+/// An admitted job always ends in exactly one of these — the farm
+/// never silently drops work, which is what makes the report's
+/// `admitted = completed + failed_permanent` reconciliation possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job ran to completion and its output was read back.
+    Completed {
+        /// Dispatch attempts consumed (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// The retry budget ran out, or no worker could serve the job.
+    FailedPermanent {
+        /// Dispatch attempts consumed (0 = never reached a worker).
+        attempts: u32,
+        /// Why the farm gave up.
+        reason: FailReason,
+    },
+}
+
+impl JobOutcome {
+    /// Whether the job completed.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed { .. })
+    }
+
+    /// Dispatch attempts consumed.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobOutcome::Completed { attempts } | JobOutcome::FailedPermanent { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+/// A finished job: outcome, output payload and the full timing
+/// breakdown.
 #[derive(Debug, Clone)]
 pub struct JobRecord {
     /// The job's identity.
     pub id: JobId,
     /// The accelerator kind served.
     pub kind: JobKind,
-    /// Index of the worker that served it.
+    /// Index of the worker that served (or last attempted) it; 0 if
+    /// the job never reached a worker.
     pub worker: usize,
+    /// How the job ended.
+    pub outcome: JobOutcome,
     /// Cycle the job entered the queue.
     pub submitted_at: u64,
     /// Cycle the dispatcher started it on a worker.
@@ -198,7 +264,9 @@ pub struct JobRecord {
     pub contention_cycles: u64,
     /// The deadline, if one was set.
     pub deadline: Option<u64>,
-    /// Output payload read back from shared memory.
+    /// Output payload read back from shared memory (empty for a
+    /// permanently failed job — a faulted worker's output is never
+    /// trusted, even if its transfer finished).
     pub output: Vec<u32>,
 }
 
@@ -264,6 +332,7 @@ mod tests {
             id: JobId(1),
             kind: JobKind::Idct,
             worker: 0,
+            outcome: JobOutcome::Completed { attempts: 1 },
             submitted_at: 10,
             started_at: 25,
             completed_at: 125,

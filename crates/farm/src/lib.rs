@@ -32,8 +32,26 @@
 //!   completion harvesting via the OCP's poll/IRQ interface;
 //! * [`stats`] — the [`FarmReport`]: queue-wait / service / end-to-end
 //!   latency distributions (p50/p95/p99), throughput in jobs per
-//!   megacycle, per-worker utilization, bus-contention stalls and swap
-//!   counts.
+//!   megacycle, per-worker utilization, bus-contention stalls, swap
+//!   counts, and the fault ledger (faults absorbed, retries,
+//!   quarantines, permanent failures, per-worker health);
+//! * [`chaos`] — a seeded, deterministic fault-injection campaign
+//!   ([`FaultPlan`]): mid-job controller upsets, DMA slave faults,
+//!   poisoned DPR bitstreams and shared-memory squatters, all driven
+//!   by the repo's XorShift64 so every failure replays bit-exact.
+//!
+//! ## Fault tolerance
+//!
+//! A worker dying mid-job does not kill the run. The farm classifies
+//! the fault into a [`WorkerFaultKind`], frees the dead job's memory
+//! leases, retries the job on a different worker under a bounded
+//! attempt budget with linear backoff, and tracks per-worker health
+//! (`Healthy → Degraded → Quarantined`) behind a faults-in-window
+//! circuit breaker with optional cooldown probation — see
+//! [`FaultConfig`]. Every admitted job ends in a [`JobRecord`] whose
+//! [`JobOutcome`] is either `Completed { attempts }` or
+//! `FailedPermanent { reason }`, so
+//! `admitted = completed + failed_permanent` always reconciles.
 //!
 //! ## Example
 //!
@@ -65,6 +83,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod farm;
 pub mod job;
 pub mod policy;
@@ -72,14 +91,15 @@ pub mod queue;
 pub mod stats;
 pub mod worker;
 
-pub use farm::{Farm, FarmConfig, FarmError};
-pub use job::{JobId, JobKind, JobRecord, JobSpec};
+pub use chaos::{ChaosConfig, ChaosStats, FaultPlan};
+pub use farm::{Farm, FarmConfig, FarmError, FaultConfig};
+pub use job::{FailReason, JobId, JobKind, JobOutcome, JobRecord, JobSpec};
 pub use policy::{
     Assignment, DprAffinityPolicy, FifoPolicy, RoundRobinPolicy, SchedPolicy, WorkerView,
 };
 pub use queue::{PendingJob, SubmitError, SubmitQueue};
 pub use stats::{FarmReport, LatencyStats, WorkerReport};
-pub use worker::Worker;
+pub use worker::{Worker, WorkerFaultKind, WorkerHealth};
 
 // The admission error carries the analyzer's verdict; re-export the
 // diagnostic types so clients can consume it without a direct

@@ -11,6 +11,11 @@
 //! * [`DprAffinityPolicy`] — batch jobs onto workers whose loaded DPR
 //!   configuration already matches, amortizing bitstream-swap cost,
 //!   with a patience bound so no kind starves.
+//!
+//! All policies honor [`PendingJob::allows_worker`]: a retried job is
+//! never placed back on the worker whose fault bounced it (unless that
+//! worker is the only one left, in which case the farm clears the
+//! constraint before requeueing).
 
 use std::collections::VecDeque;
 
@@ -120,7 +125,7 @@ impl SchedPolicy for FifoPolicy {
         for (qi, job) in queue.iter().enumerate() {
             if let Some(w) = workers
                 .iter()
-                .find(|w| w.idle && w.supports(job.kind).is_some())
+                .find(|w| w.idle && job.allows_worker(w.index) && w.supports(job.kind).is_some())
             {
                 return Some(Assignment {
                     queue_index: qi,
@@ -166,7 +171,10 @@ impl SchedPolicy for RoundRobinPolicy {
             if !w.idle {
                 continue;
             }
-            if let Some(qi) = queue.iter().position(|job| w.supports(job.kind).is_some()) {
+            if let Some(qi) = queue
+                .iter()
+                .position(|job| job.allows_worker(w.index) && w.supports(job.kind).is_some())
+            {
                 self.cursor = (w.index + 1) % workers.len();
                 return Some(Assignment {
                     queue_index: qi,
@@ -232,7 +240,7 @@ impl SchedPolicy for DprAffinityPolicy {
             }
             let best = workers
                 .iter()
-                .filter(|w| w.idle)
+                .filter(|w| w.idle && job.allows_worker(w.index))
                 .filter_map(|w| w.swap_cost_for(job.kind).map(|c| (c, w.index)))
                 .min();
             if let Some((_, wi)) = best {
@@ -245,7 +253,10 @@ impl SchedPolicy for DprAffinityPolicy {
         // 2. Affinity: an idle worker takes the oldest job matching its
         //    loaded configuration (zero swap).
         for w in workers.iter().filter(|w| w.idle) {
-            if let Some(qi) = queue.iter().position(|job| job.kind == w.loaded_kind()) {
+            if let Some(qi) = queue
+                .iter()
+                .position(|job| job.allows_worker(w.index) && job.kind == w.loaded_kind())
+            {
                 return Some(Assignment {
                     queue_index: qi,
                     worker_index: w.index,
@@ -257,7 +268,7 @@ impl SchedPolicy for DprAffinityPolicy {
         for (qi, job) in queue.iter().enumerate() {
             let best = workers
                 .iter()
-                .filter(|w| w.idle)
+                .filter(|w| w.idle && job.allows_worker(w.index))
                 .filter_map(|w| w.swap_cost_for(job.kind).map(|c| (c, w.index)))
                 .min();
             if let Some((_, wi)) = best {
@@ -284,6 +295,8 @@ mod tests {
             submitted_at,
             priority: 0,
             deadline: None,
+            attempts: 0,
+            avoid_worker: None,
             input: vec![0],
             microcode: None,
         }
@@ -361,6 +374,33 @@ mod tests {
         }];
         let pick = DprAffinityPolicy::new().pick(10, &queue, &workers).unwrap();
         assert_eq!(pick.queue_index, 0);
+    }
+
+    #[test]
+    fn policies_honor_avoid_worker() {
+        let mut bounced = job(0, IDCT, 0);
+        bounced.avoid_worker = Some(0);
+        let queue: VecDeque<PendingJob> = vec![bounced].into();
+        let caps = [IDCT];
+        let costs = [0u64];
+        let workers: Vec<WorkerView<'_>> = (0..2)
+            .map(|i| WorkerView {
+                index: i,
+                idle: true,
+                caps: &caps,
+                loaded: 0,
+                swap_costs: &costs,
+            })
+            .collect();
+        // All three policies must route the retry around worker 0.
+        let fifo = FifoPolicy::new().pick(0, &queue, &workers).unwrap();
+        assert_eq!(fifo.worker_index, 1);
+        let rr = RoundRobinPolicy::new().pick(0, &queue, &workers).unwrap();
+        assert_eq!(rr.worker_index, 1);
+        let aff = DprAffinityPolicy::new().pick(0, &queue, &workers).unwrap();
+        assert_eq!(aff.worker_index, 1);
+        // With only the faulted worker available, the job waits.
+        assert!(FifoPolicy::new().pick(0, &queue, &workers[..1]).is_none());
     }
 
     #[test]

@@ -118,10 +118,24 @@ pub struct PendingJob {
     pub priority: u8,
     /// Absolute-cycle deadline, if any.
     pub deadline: Option<u64>,
+    /// Dispatch attempts already consumed by this job (0 on first
+    /// admission; bumped each time a worker fault hands it back).
+    pub attempts: u32,
+    /// A worker this job must not be placed on again — the one whose
+    /// fault bounced it here. `None` once no alternative exists.
+    pub avoid_worker: Option<usize>,
     /// The payload itself (consumed at dispatch).
     pub(crate) input: Vec<u32>,
     /// Verified custom microcode, if the client supplied any.
     pub(crate) microcode: Option<Program>,
+}
+
+impl PendingJob {
+    /// Whether the scheduler may place this job on worker `index`.
+    #[must_use]
+    pub fn allows_worker(&self, index: usize) -> bool {
+        self.avoid_worker != Some(index)
+    }
 }
 
 /// A bounded FIFO of admitted jobs.
@@ -285,12 +299,45 @@ impl SubmitQueue {
             submitted_at: now,
             priority: spec.priority,
             deadline: spec.deadline,
+            attempts: 0,
+            avoid_worker: None,
             input: spec.input,
             microcode: spec.microcode,
         });
         self.admitted += 1;
         self.peak_depth = self.peak_depth.max(self.jobs.len());
         Ok(id)
+    }
+
+    /// Puts a fault-bounced job back in line for another attempt.
+    ///
+    /// Bypasses capacity: a retry is not a new admission, and bouncing
+    /// an already-admitted job because fresh submissions filled the
+    /// queue would turn one worker fault into a lost job. As a result
+    /// `peak_depth` may briefly exceed `capacity` under heavy faulting.
+    pub(crate) fn requeue(&mut self, job: PendingJob) {
+        self.jobs.push_back(job);
+        self.peak_depth = self.peak_depth.max(self.jobs.len());
+    }
+
+    /// Evicts every queued job whose kind no worker can serve any more
+    /// (called when a worker dies permanently). Returns the evicted
+    /// jobs so the farm can record them as failed rather than strand
+    /// them.
+    pub(crate) fn reap_unserviceable(
+        &mut self,
+        serviceable: impl Fn(JobKind) -> bool,
+    ) -> Vec<PendingJob> {
+        let mut dead = Vec::new();
+        self.jobs.retain(|job| {
+            if serviceable(job.kind) {
+                true
+            } else {
+                dead.push(job.clone());
+                false
+            }
+        });
+        dead
     }
 
     /// Removes and returns the job at `index` (dispatch).

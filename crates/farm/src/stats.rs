@@ -6,6 +6,7 @@ use std::fmt;
 use ouessant_soc::alloc::AllocStats;
 
 use crate::job::JobRecord;
+use crate::worker::WorkerHealth;
 
 /// Distribution summary of a cycle-count sample set (nearest-rank
 /// percentiles).
@@ -84,6 +85,12 @@ pub struct WorkerReport {
     pub bus_beats: u64,
     /// Cycles the worker's DMA master lost arbitration.
     pub contention_cycles: u64,
+    /// Health state at report time.
+    pub health: WorkerHealth,
+    /// Faults this worker suffered (organic or injected).
+    pub faults: u64,
+    /// Times the circuit breaker quarantined this worker.
+    pub quarantines: u64,
 }
 
 /// The pool-level serving report.
@@ -93,8 +100,24 @@ pub struct FarmReport {
     pub policy: String,
     /// Simulated cycles elapsed.
     pub total_cycles: u64,
+    /// Jobs admitted into the queue.
+    ///
+    /// At idle the books must balance:
+    /// `jobs_admitted = jobs_completed + jobs_failed_permanent`
+    /// (rejected submissions never consume a queue slot and are
+    /// counted separately).
+    pub jobs_admitted: u64,
     /// Jobs completed.
     pub jobs_completed: u64,
+    /// Admitted jobs the farm gave up on (retry budget exhausted or no
+    /// serviceable worker left).
+    pub jobs_failed_permanent: u64,
+    /// Worker faults absorbed (organic or injected).
+    pub worker_faults: u64,
+    /// Fault-bounced jobs re-enqueued for another attempt.
+    pub retries: u64,
+    /// Circuit-breaker trips across the pool.
+    pub quarantines: u64,
     /// Submissions bounced with `QueueFull`.
     pub rejected_full: u64,
     /// Submissions bounced at validation.
@@ -125,6 +148,17 @@ pub struct FarmReport {
     pub workers: Vec<WorkerReport>,
 }
 
+/// Pool-level fault bookkeeping the farm feeds into the report.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FaultTally {
+    /// Worker faults absorbed (organic or injected).
+    pub worker_faults: u64,
+    /// Fault-bounced jobs re-enqueued for another attempt.
+    pub retries: u64,
+    /// Circuit-breaker trips across the pool.
+    pub quarantines: u64,
+}
+
 impl FarmReport {
     /// Builds the aggregate report from completed-job records and the
     /// admission queue's counters.
@@ -136,18 +170,23 @@ impl FarmReport {
         queue: &crate::queue::SubmitQueue,
         alloc: AllocStats,
         workers: Vec<WorkerReport>,
+        faults: FaultTally,
     ) -> Self {
         let rejected_full = queue.rejected_full();
         let rejected_invalid = queue.rejected_invalid();
         let rejected_unsafe = queue.rejected_unsafe();
         let queue_peak_depth = queue.peak_depth();
-        let queue_wait =
-            LatencyStats::from_samples(records.iter().map(JobRecord::queue_wait).collect());
-        let service =
-            LatencyStats::from_samples(records.iter().map(JobRecord::service_cycles).collect());
-        let latency = LatencyStats::from_samples(records.iter().map(JobRecord::latency).collect());
+        // Timing distributions and throughput describe *served* work;
+        // permanently failed jobs carry no meaningful timings.
+        let done: Vec<&JobRecord> = records
+            .iter()
+            .filter(|r| r.outcome.is_completed())
+            .collect();
+        let queue_wait = LatencyStats::from_samples(done.iter().map(|r| r.queue_wait()).collect());
+        let service = LatencyStats::from_samples(done.iter().map(|r| r.service_cycles()).collect());
+        let latency = LatencyStats::from_samples(done.iter().map(|r| r.latency()).collect());
         let mut per_kind: Vec<(String, u64)> = Vec::new();
-        for r in records {
+        for r in &done {
             let name = r.kind.to_string();
             match per_kind.iter_mut().find(|(k, _)| *k == name) {
                 Some((_, n)) => *n += 1,
@@ -158,12 +197,17 @@ impl FarmReport {
         let throughput = if total_cycles == 0 {
             0.0
         } else {
-            records.len() as f64 * 1.0e6 / total_cycles as f64
+            done.len() as f64 * 1.0e6 / total_cycles as f64
         };
         Self {
             policy,
             total_cycles,
-            jobs_completed: records.len() as u64,
+            jobs_admitted: queue.admitted(),
+            jobs_completed: done.len() as u64,
+            jobs_failed_permanent: (records.len() - done.len()) as u64,
+            worker_faults: faults.worker_faults,
+            retries: faults.retries,
+            quarantines: faults.quarantines,
             rejected_full,
             rejected_invalid,
             rejected_unsafe,
@@ -173,8 +217,8 @@ impl FarmReport {
             latency,
             throughput_jobs_per_mcycle: throughput,
             swaps: workers.iter().map(|w| w.swaps).sum(),
-            deadline_misses: records.iter().filter(|r| !r.met_deadline()).count() as u64,
-            contention_cycles: records.iter().map(|r| r.contention_cycles).sum(),
+            deadline_misses: done.iter().filter(|r| !r.met_deadline()).count() as u64,
+            contention_cycles: done.iter().map(|r| r.contention_cycles).sum(),
             per_kind,
             alloc,
             workers,
@@ -187,10 +231,22 @@ impl fmt::Display for FarmReport {
         writeln!(f, "── farm report ({} policy) ──", self.policy)?;
         writeln!(
             f,
-            "jobs: {} completed, {} rejected (queue-full), {} rejected (invalid), \
-             {} rejected (unsafe microcode)",
-            self.jobs_completed, self.rejected_full, self.rejected_invalid, self.rejected_unsafe
+            "jobs: {} admitted, {} completed, {} failed permanently, {} rejected (queue-full), \
+             {} rejected (invalid), {} rejected (unsafe microcode)",
+            self.jobs_admitted,
+            self.jobs_completed,
+            self.jobs_failed_permanent,
+            self.rejected_full,
+            self.rejected_invalid,
+            self.rejected_unsafe
         )?;
+        if self.worker_faults > 0 || self.retries > 0 || self.quarantines > 0 {
+            writeln!(
+                f,
+                "faults: {} worker faults absorbed, {} retries, {} quarantines",
+                self.worker_faults, self.retries, self.quarantines
+            )?;
+        }
         write!(f, "kinds:")?;
         for (kind, n) in &self.per_kind {
             write!(f, "  {kind}×{n}")?;
@@ -212,14 +268,16 @@ impl fmt::Display for FarmReport {
         for w in &self.workers {
             writeln!(
                 f,
-                "  {:<22} jobs {:>5}  swaps {:>3}  util {:>5.1}%  grants {:>7}  beats {:>8}  stalls {:>6}",
+                "  {:<22} jobs {:>5}  swaps {:>3}  util {:>5.1}%  grants {:>7}  beats {:>8}  stalls {:>6}  {} ({} faults)",
                 w.name,
                 w.jobs,
                 w.swaps,
                 w.utilization * 100.0,
                 w.bus_grants,
                 w.bus_beats,
-                w.contention_cycles
+                w.contention_cycles,
+                w.health,
+                w.faults
             )?;
         }
         Ok(())

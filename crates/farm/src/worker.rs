@@ -11,18 +11,46 @@
 //! executes at the *head* of a program on a worker the dispatcher just
 //! observed idle, so a swap can never touch a configuration with a job
 //! in flight.
+//!
+//! ## Fault containment
+//!
+//! A worker's controller can die mid-job — a bus slave error on a DMA
+//! burst, a poisoned bitstream during an `rcfg`, a decode fault in
+//! hostile microcode, or an injected chaos fault. The paper's OCP is
+//! built so that such a death never takes the host down; this module
+//! carries that isolation into the pool with a per-worker health state
+//! machine:
+//!
+//! ```text
+//!   Healthy ──fault──► Degraded ──breaker trips──► Quarantined
+//!      ▲                   │  ▲                        │
+//!      └──window clean─────┘  └──cooldown (probation)──┘
+//! ```
+//!
+//! Every fault is classified into a structured [`WorkerFaultKind`] and
+//! counted against a faults-in-window circuit breaker; tripping it
+//! quarantines the worker (permanently, unless a cooldown is
+//! configured). Recovery drains the dead job's DMA, resets the
+//! controller FSM, the RAC and both FIFOs — so no word of the dead job
+//! can ever leak into the next one — and, for a DPR worker, leaves the
+//! slot back in configuration 0 (a bitstream load after a fault is
+//! never trusted).
 
-use ouessant::{Ocp, OcpConfig};
+use std::collections::VecDeque;
+use std::fmt;
+
+use ouessant::{ExecError, Ocp, OcpConfig};
 use ouessant_isa::{Instruction, ProgAddr, Program, ProgramBuilder};
 use ouessant_rac::dft::DftRac;
 use ouessant_rac::idct::IdctRac;
 use ouessant_rac::passthrough::PassthroughRac;
 use ouessant_rac::rac::Rac;
 use ouessant_rac::slot::{ReconfigurableSlot, ICAP_BYTES_PER_CYCLE};
-use ouessant_sim::bus::Bus;
+use ouessant_sim::bus::{Bus, BusError};
 use ouessant_soc::alloc::Region;
 
-use crate::job::{JobId, JobKind};
+use crate::farm::FaultConfig;
+use crate::job::JobKind;
 use crate::queue::PendingJob;
 
 /// The microcode bank map every farm job uses.
@@ -31,6 +59,74 @@ pub(crate) const INPUT_BANK: u8 = 1;
 pub(crate) const OUTPUT_BANK: u8 = 2;
 /// DMA burst length for payload transfers.
 const CHUNK: u16 = 64;
+
+/// A worker fault, classified by the seam it came through.
+///
+/// Replaces the old stringly-typed `Worker::fault() -> Option<String>`:
+/// the farm's retry/quarantine machinery and the [`JobOutcome`] records
+/// need to *match* on the fault, not parse it.
+///
+/// [`JobOutcome`]: crate::job::JobOutcome
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFaultKind {
+    /// The controller FSM stopped on a microcode or integration fault
+    /// (bad decode, pc overrun, bank translation, injected chaos).
+    Controller(ExecError),
+    /// The system bus faulted one of the worker's DMA bursts.
+    Bus(BusError),
+    /// A DPR bitstream load died mid-`rcfg`, leaving the slot in a dead
+    /// configuration (recovery reloads configuration 0).
+    PoisonedBitstream {
+        /// The configuration slot whose load failed.
+        slot: u16,
+    },
+}
+
+impl WorkerFaultKind {
+    /// Classifies a controller error by the seam it came through.
+    pub(crate) fn classify(error: &ExecError) -> Self {
+        match error {
+            ExecError::Bus(e) => WorkerFaultKind::Bus(e.clone()),
+            ExecError::Reconfig { slot, .. } => WorkerFaultKind::PoisonedBitstream { slot: *slot },
+            other => WorkerFaultKind::Controller(other.clone()),
+        }
+    }
+}
+
+impl fmt::Display for WorkerFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerFaultKind::Controller(e) => write!(f, "controller fault: {e}"),
+            WorkerFaultKind::Bus(e) => write!(f, "bus fault on DMA burst: {e}"),
+            WorkerFaultKind::PoisonedBitstream { slot } => {
+                write!(f, "poisoned bitstream for configuration {slot}")
+            }
+        }
+    }
+}
+
+/// A worker's health, as seen by the scheduler and the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// No faults inside the circuit-breaker window.
+    Healthy,
+    /// Faulted recently (or fresh out of quarantine, on probation) but
+    /// still schedulable.
+    Degraded,
+    /// The circuit breaker is open: not schedulable until the cooldown
+    /// expires — forever, if no cooldown is configured.
+    Quarantined,
+}
+
+impl fmt::Display for WorkerHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerHealth::Healthy => f.write_str("healthy"),
+            WorkerHealth::Degraded => f.write_str("degraded"),
+            WorkerHealth::Quarantined => f.write_str("quarantined"),
+        }
+    }
+}
 
 /// The shared-memory regions leased to one in-flight job.
 ///
@@ -120,20 +216,21 @@ fn rac_for(kind: JobKind) -> Box<dyn Rac> {
 }
 
 /// Bookkeeping for the job currently on a worker.
+///
+/// The whole [`PendingJob`] rides along (not just its identity): a
+/// fault mid-run hands it back to the farm for re-enqueue, so the
+/// input payload and custom microcode must survive the attempt.
 #[derive(Debug)]
 pub(crate) struct ActiveJob {
-    pub id: JobId,
-    pub kind: JobKind,
-    pub submitted_at: u64,
+    pub job: PendingJob,
     pub started_at: u64,
-    pub deadline: Option<u64>,
     pub swapped: bool,
     pub regions: JobRegions,
     pub output_words: u32,
     pub contention_at_start: u64,
 }
 
-/// One pool member: an OCP plus its capability table.
+/// One pool member: an OCP plus its capability table and health state.
 #[derive(Debug)]
 pub struct Worker {
     name: String,
@@ -149,25 +246,69 @@ pub struct Worker {
     jobs_served: u64,
     swaps: u64,
     busy_cycles: u64,
+    // ── health / fault containment ──
+    health: WorkerHealth,
+    /// Cycle stamps of faults inside the circuit-breaker window.
+    recent_faults: VecDeque<u64>,
+    /// When the current quarantine lifts, if ever.
+    quarantine_until: Option<u64>,
+    /// Fresh out of quarantine: one more fault re-opens the breaker
+    /// immediately.
+    probation: bool,
+    /// When the worker last entered `Degraded` (fault or probation);
+    /// a clean window from here restores `Healthy`.
+    degraded_since: u64,
+    /// Worker is draining its DMA/RAC after a fault and cannot serve.
+    recovering: bool,
+    /// The current fault has been harvested by the farm (guards
+    /// double-processing while the controller is still `Faulted`).
+    fault_acknowledged: bool,
+    faults_total: u64,
+    quarantines_total: u64,
 }
 
 impl Worker {
-    /// Attaches a fixed-function worker for `kind` at `base`.
-    pub(crate) fn fixed(bus: &mut Bus, base: u32, kind: JobKind, fifo_depth: usize) -> Self {
-        let ocp = Ocp::attach(bus, base, rac_for(kind), OcpConfig { fifo_depth });
-        ocp.regs().set_irq_enabled(true);
+    fn base_state(
+        name: String,
+        ocp: Ocp,
+        caps: Vec<JobKind>,
+        swap_cycles: Vec<u64>,
+        reconfigurable: bool,
+    ) -> Self {
         Self {
-            name: format!("{kind}@{base:#010x}"),
+            name,
             ocp,
-            caps: vec![kind],
-            swap_cycles: vec![0],
+            caps,
+            swap_cycles,
             loaded: 0,
-            reconfigurable: false,
+            reconfigurable,
             active: None,
             jobs_served: 0,
             swaps: 0,
             busy_cycles: 0,
+            health: WorkerHealth::Healthy,
+            recent_faults: VecDeque::new(),
+            quarantine_until: None,
+            probation: false,
+            degraded_since: 0,
+            recovering: false,
+            fault_acknowledged: false,
+            faults_total: 0,
+            quarantines_total: 0,
         }
+    }
+
+    /// Attaches a fixed-function worker for `kind` at `base`.
+    pub(crate) fn fixed(bus: &mut Bus, base: u32, kind: JobKind, fifo_depth: usize) -> Self {
+        let ocp = Ocp::attach(bus, base, rac_for(kind), OcpConfig { fifo_depth });
+        ocp.regs().set_irq_enabled(true);
+        Self::base_state(
+            format!("{kind}@{base:#010x}"),
+            ocp,
+            vec![kind],
+            vec![0],
+            false,
+        )
     }
 
     /// Attaches a DPR worker at `base` whose slot holds one
@@ -202,18 +343,7 @@ impl Worker {
         }
         let ocp = Ocp::attach(bus, base, Box::new(slot), OcpConfig { fifo_depth });
         ocp.regs().set_irq_enabled(true);
-        Self {
-            name: format!("dpr@{base:#010x}"),
-            ocp,
-            caps,
-            swap_cycles,
-            loaded: 0,
-            reconfigurable: true,
-            active: None,
-            jobs_served: 0,
-            swaps: 0,
-            busy_cycles: 0,
-        }
+        Self::base_state(format!("dpr@{base:#010x}"), ocp, caps, swap_cycles, true)
     }
 
     /// The worker's display name.
@@ -234,10 +364,48 @@ impl Worker {
         self.reconfigurable
     }
 
-    /// Whether the worker can accept a job this cycle.
+    /// Whether the worker has no job on it this cycle.
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.active.is_none()
+    }
+
+    /// Whether the dispatcher may place a job on this worker: idle,
+    /// not draining a fault, and not quarantined.
+    #[must_use]
+    pub fn is_dispatchable(&self) -> bool {
+        self.active.is_none() && !self.recovering && self.health != WorkerHealth::Quarantined
+    }
+
+    /// The worker's current health state.
+    #[must_use]
+    pub fn health(&self) -> WorkerHealth {
+        self.health
+    }
+
+    /// Total faults this worker has suffered.
+    #[must_use]
+    pub fn faults_total(&self) -> u64 {
+        self.faults_total
+    }
+
+    /// Times the circuit breaker has quarantined this worker.
+    #[must_use]
+    pub fn quarantines_total(&self) -> u64 {
+        self.quarantines_total
+    }
+
+    /// Quarantined with no cooldown: this worker will never serve
+    /// again.
+    #[must_use]
+    pub fn is_permanently_dead(&self) -> bool {
+        self.health == WorkerHealth::Quarantined && self.quarantine_until.is_none()
+    }
+
+    /// Whether the farm already harvested the current fault.
+    #[must_use]
+    pub(crate) fn fault_acknowledged(&self) -> bool {
+        self.fault_acknowledged
     }
 
     /// Jobs completed on this worker.
@@ -282,9 +450,9 @@ impl Worker {
         self.loaded
     }
 
-    /// Places `job` on this (idle) worker: writes microcode and payload
-    /// into the leased regions, programs the bank registers and pulls
-    /// the start bit. The job's first cycle is the *next* `tick`.
+    /// Places `job` on this (dispatchable) worker: writes microcode and
+    /// payload into the leased regions, programs the bank registers and
+    /// pulls the start bit. The job's first cycle is the *next* `tick`.
     ///
     /// `program` is the microcode the farm built with [`build_program`]
     /// for this worker's current `loaded_config` (the farm sizes the
@@ -298,7 +466,7 @@ impl Worker {
         target: usize,
         regions: JobRegions,
     ) {
-        debug_assert!(self.active.is_none(), "launch on a busy worker");
+        debug_assert!(self.is_dispatchable(), "launch on an unavailable worker");
         debug_assert_eq!(self.caps[target], job.kind, "dispatcher matched capability");
         let swapped = target != self.loaded;
         if swapped {
@@ -329,16 +497,14 @@ impl Worker {
             .expect("program length is validated");
         regs.start();
 
+        let output_words = job.kind.output_words(job.input_words);
         self.active = Some(ActiveJob {
-            id: job.id,
-            kind: job.kind,
-            submitted_at: job.submitted_at,
             started_at: now,
-            deadline: job.deadline,
             swapped,
             regions,
-            output_words: job.kind.output_words(job.input_words),
+            output_words,
             contention_at_start: bus.master_stats(self.ocp.bus_master()).contention_cycles,
+            job,
         });
     }
 
@@ -357,9 +523,91 @@ impl Worker {
         Some(done)
     }
 
-    /// The controller fault, if the worker has died.
+    /// The controller fault that killed this worker, if any, classified
+    /// by seam. The structured [`ExecError`] behind it is available via
+    /// [`Ocp::fault`] on [`Worker::ocp`] inside the crate.
     #[must_use]
-    pub fn fault(&self) -> Option<String> {
-        self.ocp.fault().map(|e| e.to_string())
+    pub fn fault(&self) -> Option<WorkerFaultKind> {
+        self.ocp.fault().map(WorkerFaultKind::classify)
+    }
+
+    /// Takes the job that was on the worker when it faulted (the farm
+    /// frees its leases and decides retry vs. permanent failure).
+    /// Unlike [`Worker::note_completion`], does not count a served job.
+    pub(crate) fn take_faulted_job(&mut self) -> Option<ActiveJob> {
+        self.active.take()
+    }
+
+    /// Counts one fault against the circuit breaker at cycle `now`.
+    ///
+    /// Returns `true` when this fault trips the breaker (the worker
+    /// just entered quarantine). A fault during probation re-opens the
+    /// breaker immediately.
+    pub(crate) fn record_fault(&mut self, now: u64, cfg: &FaultConfig) -> bool {
+        self.faults_total += 1;
+        let window_start = now.saturating_sub(cfg.fault_window);
+        while self
+            .recent_faults
+            .front()
+            .is_some_and(|&at| at < window_start)
+        {
+            self.recent_faults.pop_front();
+        }
+        self.recent_faults.push_back(now);
+        let tripped = self.probation || self.recent_faults.len() as u32 >= cfg.quarantine_threshold;
+        if tripped {
+            self.health = WorkerHealth::Quarantined;
+            self.quarantine_until = cfg.quarantine_cooldown.map(|c| now + c);
+            self.probation = false;
+            self.recent_faults.clear();
+            self.quarantines_total += 1;
+        } else {
+            self.health = WorkerHealth::Degraded;
+            self.degraded_since = now;
+        }
+        tripped
+    }
+
+    /// Starts draining the fault: the worker is unschedulable until
+    /// [`Ocp::try_recover`] succeeds (DMA burst retired, FSM, RAC and
+    /// FIFOs reset).
+    pub(crate) fn begin_recovery(&mut self) {
+        self.recovering = true;
+        self.fault_acknowledged = true;
+    }
+
+    /// Marks the fault harvested without recovering (fail-fast mode:
+    /// the controller is left in its faulted state for postmortem).
+    pub(crate) fn acknowledge_fault(&mut self) {
+        self.fault_acknowledged = true;
+    }
+
+    /// One health-state step at cycle `now`: finish a pending recovery,
+    /// lift an expired quarantine into probation, and restore `Healthy`
+    /// after a clean window.
+    pub(crate) fn advance_health(&mut self, bus: &mut Bus, now: u64, cfg: &FaultConfig) {
+        if self.recovering && self.ocp.try_recover(bus) {
+            self.recovering = false;
+            self.fault_acknowledged = false;
+            // Recovery resets the RAC slot; a DPR worker is back in
+            // configuration 0 and the host mirror must follow.
+            self.loaded = 0;
+        }
+        if self.health == WorkerHealth::Quarantined
+            && !self.recovering
+            && self.quarantine_until.is_some_and(|until| now >= until)
+        {
+            self.health = WorkerHealth::Degraded;
+            self.quarantine_until = None;
+            self.probation = true;
+            self.degraded_since = now;
+        }
+        if self.health == WorkerHealth::Degraded
+            && now.saturating_sub(self.degraded_since) >= cfg.fault_window
+        {
+            self.health = WorkerHealth::Healthy;
+            self.probation = false;
+            self.recent_faults.clear();
+        }
     }
 }

@@ -145,6 +145,25 @@ impl BankAllocator {
         self.free.iter().map(|&(_, len)| len).max().unwrap_or(0)
     }
 
+    /// Number of leases currently outstanding.
+    ///
+    /// A serving layer that promises "no leaked banks" can assert this
+    /// hits zero at idle — it catches leaks that `words_in_use == 0`
+    /// alone would (vacuously) also catch, but reads as intent.
+    #[must_use]
+    pub fn outstanding_leases(&self) -> usize {
+        self.leased.len()
+    }
+
+    /// Whether the allocator is exhausted for a request of `words`
+    /// (no free extent fits). A cheap pre-flight check for admission
+    /// paths that want to surface exhaustion without consuming an
+    /// attempt or bumping the failure counter.
+    #[must_use]
+    pub fn would_exhaust(&self, words: u32) -> bool {
+        words == 0 || self.largest_free() < words
+    }
+
     /// Current statistics.
     #[must_use]
     pub fn stats(&self) -> AllocStats {
@@ -339,6 +358,79 @@ mod tests {
     fn zero_words_rejected() {
         let mut a = BankAllocator::new(0, 64);
         assert_eq!(a.alloc(0), Err(AllocError::EmptyRegion));
+    }
+
+    #[test]
+    fn exhaustion_surfaces_and_counts() {
+        // Drive the window to full exhaustion the way a fault-injection
+        // campaign does: lease until nothing fits, and check every
+        // surface a caller could consult.
+        let mut a = BankAllocator::new(0, 256);
+        let mut leases = Vec::new();
+        while !a.would_exhaust(64) {
+            leases.push(a.alloc(64).unwrap());
+        }
+        assert_eq!(leases.len(), 4);
+        assert_eq!(a.largest_free(), 0);
+        assert_eq!(a.outstanding_leases(), 4);
+        assert!(a.would_exhaust(1));
+        assert_eq!(
+            a.alloc(1),
+            Err(AllocError::OutOfMemory {
+                requested: 1,
+                largest_free: 0
+            })
+        );
+        assert_eq!(a.stats().failures, 1, "would_exhaust probes are free");
+        assert_eq!(a.stats().words_in_use, 256);
+        for r in leases {
+            a.free(r).unwrap();
+        }
+        assert_eq!(a.outstanding_leases(), 0);
+    }
+
+    #[test]
+    fn fault_triggered_release_unblocks_waiting_request() {
+        // The farm's fault path: a worker dies mid-job and its three
+        // regions (program/input/output) are freed out of dispatch
+        // order. The release must immediately unblock a request that
+        // exhaustion was stalling.
+        let mut a = BankAllocator::new(0, 128);
+        let prog = a.alloc(8).unwrap();
+        let input = a.alloc(64).unwrap();
+        let output = a.alloc(56).unwrap();
+        assert!(a.would_exhaust(64), "pool exhausted while the job runs");
+        assert!(a.alloc(64).is_err());
+        // Fault: free in an arbitrary order, as the fault handler does.
+        a.free(output).unwrap();
+        a.free(prog).unwrap();
+        a.free(input).unwrap();
+        assert!(!a.would_exhaust(128), "release coalesced the window");
+        let retry = a.alloc(128).unwrap();
+        assert_eq!(retry.base(), 0);
+        a.free(retry).unwrap();
+    }
+
+    #[test]
+    fn reuse_after_quarantine_frees_leases() {
+        // Quarantining a worker hands back every lease it held; the
+        // extents must be reusable by the surviving workers at full
+        // capacity, not just countable.
+        let mut a = BankAllocator::new(0, 96);
+        let dead_worker: Vec<Region> = (0..3).map(|_| a.alloc(16).unwrap()).collect();
+        let survivor = a.alloc(48).unwrap();
+        assert_eq!(a.outstanding_leases(), 4);
+        for r in dead_worker {
+            a.free(r).unwrap();
+        }
+        assert_eq!(a.outstanding_leases(), 1, "survivor's lease untouched");
+        // The quarantined worker's extents serve the next job intact.
+        let next = a.alloc(48).unwrap();
+        assert_eq!(next.base(), 0, "first-fit reuses the freed run");
+        a.free(next).unwrap();
+        a.free(survivor).unwrap();
+        assert_eq!(a.stats().words_in_use, 0);
+        assert_eq!(a.largest_free(), 96);
     }
 
     #[test]

@@ -8,14 +8,21 @@
 //! scheduling policies and every output is checked against the host
 //! golden model.
 //!
-//! Run with: `cargo run --release --example farm_demo`
+//! The run ends with a chaos campaign: the same workload replayed on a
+//! redundant pool while a seeded fault plan kills controllers, faults
+//! DMA bursts, poisons bitstreams and squats on shared memory — the
+//! farm quarantines, retries and keeps serving. Pass `--chaos-seed N`
+//! to replay a specific campaign (any failure is reproducible from its
+//! seed alone).
+//!
+//! Run with: `cargo run --release --example farm_demo [--chaos-seed N]`
 
 use std::collections::HashMap;
 use std::error::Error;
 
 use ouessant_farm::{
-    DprAffinityPolicy, Farm, FarmConfig, FifoPolicy, JobId, JobKind, JobSpec, RoundRobinPolicy,
-    SchedPolicy, SubmitError,
+    ChaosConfig, DprAffinityPolicy, Farm, FarmConfig, FaultConfig, FaultPlan, FifoPolicy, JobId,
+    JobKind, JobOutcome, JobSpec, RoundRobinPolicy, SchedPolicy, SubmitError,
 };
 use ouessant_isa::ProgramBuilder;
 use ouessant_sim::XorShift64;
@@ -191,12 +198,140 @@ fn admission_experiment() -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// A four-worker pool with at least two workers per kind, so a worker
+/// death never makes a kind unserviceable — the shape fault-tolerant
+/// serving wants.
+fn redundant_farm(policy: Box<dyn SchedPolicy>) -> Farm {
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 32,
+            faults: FaultConfig {
+                max_attempts: 10,
+                quarantine_cooldown: Some(60_000),
+                ..FaultConfig::default()
+            },
+            ..FarmConfig::default()
+        },
+        policy,
+    );
+    farm.add_worker(IDCT);
+    farm.add_worker(DFT64);
+    farm.add_dpr_worker(&[(IDCT, 40_000), (COPY3, 40_000)]);
+    farm.add_dpr_worker(&[(COPY3, 40_000), (DFT64, 60_000)]);
+    farm
+}
+
+/// Serves the workload on the redundant pool, optionally under an
+/// armed chaos campaign, and returns (report, survivors bit-exact?).
+fn serve_redundant(
+    jobs: &[JobSpec],
+    chaos: Option<FaultPlan>,
+) -> Result<ouessant_farm::FarmReport, Box<dyn Error>> {
+    let mut farm = redundant_farm(Box::new(RoundRobinPolicy::new()));
+    if let Some(plan) = chaos {
+        farm.arm_chaos(plan);
+    }
+    let mut golden: HashMap<JobId, Vec<u32>> = HashMap::new();
+    for spec in jobs {
+        loop {
+            match farm.submit(spec.clone()) {
+                Ok(id) => {
+                    golden.insert(id, spec.kind.expected_output(&spec.input));
+                    break;
+                }
+                Err(SubmitError::QueueFull { .. }) => {
+                    for _ in 0..200 {
+                        farm.tick();
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    farm.run_until_idle(1_000_000_000)?;
+    for record in farm.records() {
+        if let JobOutcome::Completed { .. } = record.outcome {
+            assert_eq!(
+                &record.output,
+                golden.get(&record.id).expect("recorded job was submitted"),
+                "a surviving job's output must be bit-exact despite the chaos"
+            );
+        }
+    }
+    let report = farm.report();
+    assert_eq!(
+        report.jobs_admitted,
+        report.jobs_completed + report.jobs_failed_permanent,
+        "the books must balance"
+    );
+    assert_eq!(report.alloc.words_in_use, 0, "no leaked bank leases");
+    Ok(report)
+}
+
+/// The fault-tolerance head-to-head: the same 240-job workload served
+/// calm and under a seeded chaos campaign, on the same redundant pool.
+fn chaos_experiment(seed: u64) -> Result<(), Box<dyn Error>> {
+    println!("── chaos campaign (seed {seed:#x}, 4-worker redundant pool, round-robin) ──");
+    let jobs = workload(0xDA7E_2016);
+
+    let calm = serve_redundant(&jobs, None)?;
+    let chaotic = serve_redundant(&jobs, Some(FaultPlan::new(ChaosConfig::new(seed))))?;
+
+    for (label, r) in [("calm", &calm), ("chaos", &chaotic)] {
+        println!(
+            "  {label:<6} {:>4} completed  {:>2} failed  {:>8} cycles  {:>6.2} jobs/Mcycle  \
+             p99 latency {:>8}",
+            r.jobs_completed,
+            r.jobs_failed_permanent,
+            r.total_cycles,
+            r.throughput_jobs_per_mcycle,
+            r.latency.p99
+        );
+    }
+    println!(
+        "  chaos ledger: {} worker faults absorbed, {} retries, {} quarantines",
+        chaotic.worker_faults, chaotic.retries, chaotic.quarantines
+    );
+    for w in &chaotic.workers {
+        if w.faults > 0 {
+            println!(
+                "    {:<22} {} faults, {} quarantines → {}",
+                w.name, w.faults, w.quarantines, w.health
+            );
+        }
+    }
+    println!(
+        "  → every surviving output bit-exact; throughput cost of the campaign: {:.1}%\n",
+        (1.0 - chaotic.throughput_jobs_per_mcycle / calm.throughput_jobs_per_mcycle) * 100.0
+    );
+    Ok(())
+}
+
+/// Parses `--chaos-seed N` (decimal or 0x-hex) from the command line.
+fn chaos_seed_arg() -> Result<u64, Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    match args.next() {
+        Some(arg) if arg == "--chaos-seed" => {
+            let value = args.next().ok_or("--chaos-seed needs a value")?;
+            match value.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => value.parse(),
+            }
+            .map_err(|e| format!("bad --chaos-seed {value}: {e}").into())
+        }
+        Some(arg) => Err(format!("unknown argument {arg} (supported: --chaos-seed N)").into()),
+        None => Ok(0xC4A0_5EED),
+    }
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
+    let chaos_seed = chaos_seed_arg()?;
     let jobs = workload(0xDA7E_2016);
     println!("ouessant-farm demo: {TOTAL_JOBS} mixed jobs (idct/dft64/copy×3) on a 3-OCP pool\n");
     serve(Box::new(FifoPolicy::new()), &jobs)?;
     serve(Box::new(RoundRobinPolicy::new()), &jobs)?;
     serve(Box::new(DprAffinityPolicy::new()), &jobs)?;
     swap_experiment()?;
-    admission_experiment()
+    admission_experiment()?;
+    chaos_experiment(chaos_seed)
 }

@@ -24,4 +24,10 @@ bash scripts/verify_fixtures.sh
 echo "==> cargo test (offline, all workspace members)"
 cargo test -q --offline --workspace
 
+echo "==> seeded chaos sweep (fault injection, fixed seeds)"
+cargo test -q --offline -p ouessant-farm --test chaos
+
+echo "==> chaos campaign demo (fixed seed, reproducible)"
+cargo run --release --offline --example farm_demo -- --chaos-seed 0xC4A05EED >/dev/null
+
 echo "==> CI green"
