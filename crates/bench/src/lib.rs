@@ -1,11 +1,17 @@
 //! Shared helpers for the Ouessant benchmark harness.
 //!
-//! Each bench target under `benches/` regenerates one table, figure or
-//! in-text result of the DATE 2016 paper (see DESIGN.md §4 for the
-//! experiment index). Criterion measures the *simulator's* wall time;
-//! the paper-facing output — simulated cycle counts and the derived
-//! rows — is printed once per bench via [`print_once`] so that
-//! `cargo bench` output doubles as the reproduction log.
+//! The primary entry point is the `ouessant-bench` binary
+//! (`src/main.rs`), a dependency-free wall-time harness that runs farm
+//! campaigns in both stepping modes and emits `BENCH_farm.json`.
+//!
+//! The criterion bench sources under `benches/` each regenerate one
+//! table, figure or in-text result of the DATE 2016 paper (see
+//! DESIGN.md §4 for the experiment index); they are kept as reference
+//! but not built offline (see the note in `Cargo.toml`). Criterion
+//! measures the *simulator's* wall time; the paper-facing output —
+//! simulated cycle counts and the derived rows — is printed once per
+//! bench via [`print_once`] so the bench output doubles as the
+//! reproduction log.
 
 use std::sync::Once;
 

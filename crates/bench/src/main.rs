@@ -1,0 +1,358 @@
+//! Wall-time benchmark harness for the farm's event-horizon
+//! fast-forward kernel.
+//!
+//! Runs a set of farm campaigns twice each — once single-stepping every
+//! cycle, once leaping over provably-idle windows — and emits
+//! `BENCH_farm.json` with wall seconds, simulated cycles, cycles/sec,
+//! fraction of cycles skipped and the fast/slow speedup per campaign.
+//!
+//! The harness is also a differential check: it exits non-zero if the
+//! two stepping modes disagree on the simulated cycle total or on the
+//! job-record stream (ids, outcomes, timestamps, outputs), so CI can
+//! run it as a bit-exactness gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ouessant-bench            # full campaigns
+//! cargo run --release -p ouessant-bench -- --smoke # reduced job counts
+//! cargo run --release -p ouessant-bench -- --out path/to.json
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use ouessant_farm::{
+    ChaosConfig, Farm, FarmConfig, FaultConfig, FaultPlan, FifoPolicy, JobKind, JobSpec,
+    RoundRobinPolicy,
+};
+use ouessant_isa::ProgramBuilder;
+use ouessant_sim::XorShift64;
+
+const FUEL: u64 = 500_000_000;
+const WORKLOAD_SEED: u64 = 0xBE4C_2016;
+
+const IDCT: JobKind = JobKind::Idct;
+const DFT64: JobKind = JobKind::Dft { points: 64 };
+const DFT4096: JobKind = JobKind::Dft { points: 4096 };
+const COPY3: JobKind = JobKind::Copy { scale: 3 };
+
+/// Generous-retry fault policy for the chaos campaign, so the run
+/// exercises the park/quarantine/probation timers the horizon models.
+const CHAOS_FAULTS: FaultConfig = FaultConfig {
+    max_attempts: 10,
+    retry_backoff: 500,
+    fault_window: 40_000,
+    quarantine_threshold: 3,
+    quarantine_cooldown: Some(60_000),
+    fail_fast: false,
+};
+
+fn payload(kind: JobKind, rng: &mut XorShift64) -> Vec<u32> {
+    let words = kind.required_input_words().unwrap_or(48);
+    (0..words)
+        .map(|_| rng.gen_range_i32(-1024..1024) as u32)
+        .collect()
+}
+
+/// The acceptance-campaign workload: an even mix of fixed-function and
+/// DPR-servable kinds.
+fn mixed_workload(n: usize) -> Vec<JobSpec> {
+    let mut rng = XorShift64::new(WORKLOAD_SEED);
+    (0..n)
+        .map(|i| {
+            let kind = match i % 3 {
+                0 => IDCT,
+                1 => DFT64,
+                _ => COPY3,
+            };
+            JobSpec::new(kind, payload(kind, &mut rng))
+        })
+        .collect()
+}
+
+/// Large transforms: most of each job's lifetime is the RAC compute
+/// window between its two DMA bursts.
+fn deep_dft_workload(n: usize) -> Vec<JobSpec> {
+    let mut rng = XorShift64::new(WORKLOAD_SEED);
+    (0..n)
+        .map(|_| JobSpec::new(DFT4096, payload(DFT4096, &mut rng)))
+        .collect()
+}
+
+/// Duty-cycled jobs: custom microcode sleeps for 60k cycles between
+/// load and compute, the way a sensor-driven pipeline gates on an
+/// external frame period. Almost the entire campaign is `WaitCycles`.
+fn duty_cycle_workload(n: usize) -> Vec<JobSpec> {
+    let mut rng = XorShift64::new(WORKLOAD_SEED);
+    (0..n)
+        .map(|_| {
+            let words = 48u32;
+            let input: Vec<u32> = (0..words)
+                .map(|_| rng.gen_range_i32(-1024..1024) as u32)
+                .collect();
+            let program = ProgramBuilder::new()
+                .transfer_to_coprocessor(1, 0, words, 64, 0)
+                .expect("payload fits the offset field")
+                .wait(60_000)
+                .execs_op(words as u16)
+                .transfer_from_coprocessor(2, 0, words, 64, 0)
+                .expect("payload fits the offset field")
+                .eop()
+                .finish()
+                .expect("duty-cycle program is structurally valid");
+            JobSpec::new(COPY3, input).with_microcode(program)
+        })
+        .collect()
+}
+
+fn redundant_pool(fast_forward: bool, faults: FaultConfig) -> Farm {
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 512,
+            faults,
+            fast_forward,
+            ..FarmConfig::default()
+        },
+        Box::new(RoundRobinPolicy::new()),
+    );
+    farm.add_worker(IDCT);
+    farm.add_worker(DFT64);
+    farm.add_dpr_worker(&[(IDCT, 40_000), (COPY3, 40_000)]);
+    farm.add_dpr_worker(&[(COPY3, 40_000), (DFT64, 60_000)]);
+    farm
+}
+
+fn calm_pool(fast_forward: bool) -> Farm {
+    redundant_pool(fast_forward, FaultConfig::default())
+}
+
+fn chaos_pool(fast_forward: bool) -> Farm {
+    let mut farm = redundant_pool(fast_forward, CHAOS_FAULTS);
+    farm.arm_chaos(FaultPlan::new(ChaosConfig::new(0xFA11_FA57)));
+    farm
+}
+
+fn deep_dft_pool(fast_forward: bool) -> Farm {
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 128,
+            fifo_depth: 8192,
+            fast_forward,
+            ..FarmConfig::default()
+        },
+        Box::new(FifoPolicy::new()),
+    );
+    farm.add_worker(DFT4096);
+    farm
+}
+
+fn duty_cycle_pool(fast_forward: bool) -> Farm {
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 128,
+            fast_forward,
+            ..FarmConfig::default()
+        },
+        Box::new(RoundRobinPolicy::new()),
+    );
+    farm.add_worker(COPY3);
+    farm.add_worker(COPY3);
+    farm
+}
+
+struct Campaign {
+    name: &'static str,
+    description: &'static str,
+    specs: Vec<JobSpec>,
+    build: fn(bool) -> Farm,
+}
+
+/// One stepping mode's measurements plus a digest of everything
+/// observable, for the differential check.
+struct ModeResult {
+    wall_seconds: f64,
+    cycles: u64,
+    skipped: u64,
+    cycles_per_second: f64,
+    digest: u64,
+}
+
+/// FNV-1a over the full job-record stream: ids, placement, outcome,
+/// timestamps and output payloads. Equal digests mean the two modes
+/// produced observationally identical campaigns.
+fn digest(farm: &Farm) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in farm.records() {
+        mix(r.id.0);
+        mix(r.worker as u64);
+        mix(r.submitted_at);
+        mix(r.started_at);
+        mix(r.completed_at);
+        mix(u64::from(r.swapped));
+        mix(r.contention_cycles);
+        for byte in format!("{:?}", r.outcome).bytes() {
+            mix(u64::from(byte));
+        }
+        for word in &r.output {
+            mix(u64::from(*word));
+        }
+    }
+    h
+}
+
+fn run_mode(campaign: &Campaign, fast_forward: bool) -> ModeResult {
+    let mut farm = (campaign.build)(fast_forward);
+    for spec in &campaign.specs {
+        farm.submit(spec.clone()).expect("queue sized for workload");
+    }
+    let cycles = farm
+        .run_until_idle(FUEL)
+        .expect("benchmark campaign must drain");
+    let wall = farm.wall_time().as_secs_f64();
+    ModeResult {
+        wall_seconds: wall,
+        cycles,
+        skipped: farm.skipped_cycles(),
+        cycles_per_second: if wall > 0.0 {
+            cycles as f64 / wall
+        } else {
+            0.0
+        },
+        digest: digest(&farm),
+    }
+}
+
+fn mode_json(mode: &ModeResult) -> String {
+    format!(
+        "{{\"wall_seconds\": {:.6}, \"cycles_per_second\": {:.1}, \"skipped_cycles\": {}, \"skipped_fraction\": {:.6}}}",
+        mode.wall_seconds,
+        mode.cycles_per_second,
+        mode.skipped,
+        if mode.cycles > 0 {
+            mode.skipped as f64 / mode.cycles as f64
+        } else {
+            0.0
+        }
+    )
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_farm.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: ouessant-bench [--smoke] [--out PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Smoke mode shrinks every campaign ~8x so CI can afford the
+    // double (fast + slow) run while still proving bit-exactness.
+    let scale = |n: usize| if smoke { (n / 8).max(4) } else { n };
+    let campaigns = [
+        Campaign {
+            name: "calm-mixed",
+            description: "240-job mixed IDCT/DFT64/copy campaign on the 4-worker redundant pool, no faults",
+            specs: mixed_workload(scale(240)),
+            build: calm_pool,
+        },
+        Campaign {
+            name: "chaos-mixed",
+            description: "the same campaign under the 4-seam chaos plan, with retry/park and quarantine timers armed",
+            specs: mixed_workload(scale(240)),
+            build: chaos_pool,
+        },
+        Campaign {
+            name: "deep-dft",
+            description: "4096-point DFT stream on one worker: compute-bound, dominated by the RAC latency window",
+            specs: deep_dft_workload(scale(24)),
+            build: deep_dft_pool,
+        },
+        Campaign {
+            name: "duty-cycle",
+            description: "duty-cycled custom microcode sleeping 60k cycles per job: timer-bound idle windows",
+            specs: duty_cycle_workload(scale(48)),
+            build: duty_cycle_pool,
+        },
+    ];
+
+    println!(
+        "ouessant-bench: {} campaigns, both stepping modes{}",
+        campaigns.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut entries = Vec::new();
+    let mut headline: Option<(&'static str, f64)> = None;
+    let mut diverged = false;
+    for campaign in &campaigns {
+        let fast = run_mode(campaign, true);
+        let slow = run_mode(campaign, false);
+        if fast.cycles != slow.cycles || fast.digest != slow.digest {
+            eprintln!(
+                "FAIL {}: stepping modes diverged (fast: {} cycles, digest {:#018x}; slow: {} cycles, digest {:#018x})",
+                campaign.name, fast.cycles, fast.digest, slow.cycles, slow.digest
+            );
+            diverged = true;
+        }
+        let speedup = slow.wall_seconds / fast.wall_seconds.max(1e-9);
+        let skipped_pct = 100.0 * fast.skipped as f64 / fast.cycles.max(1) as f64;
+        println!(
+            "  {:<12} {:>9} cycles  skip {:>5.1}%  slow {:>8.4}s  fast {:>8.4}s  speedup {:>6.2}x",
+            campaign.name, fast.cycles, skipped_pct, slow.wall_seconds, fast.wall_seconds, speedup
+        );
+        if headline.is_none_or(|(_, best)| speedup > best) {
+            headline = Some((campaign.name, speedup));
+        }
+        let mut entry = String::new();
+        write!(
+            entry,
+            "    {{\n      \"name\": \"{}\",\n      \"description\": \"{}\",\n      \"jobs\": {},\n      \"simulated_cycles\": {},\n      \"fast\": {},\n      \"slow\": {},\n      \"speedup\": {:.3}\n    }}",
+            campaign.name,
+            campaign.description,
+            campaign.specs.len(),
+            fast.cycles,
+            mode_json(&fast),
+            mode_json(&slow),
+            speedup
+        )
+        .expect("writing to a String cannot fail");
+        entries.push(entry);
+    }
+
+    let (headline_name, headline_speedup) = headline.expect("at least one campaign ran");
+    let json = format!(
+        "{{\n  \"benchmark\": \"ouessant-farm-fast-forward\",\n  \"smoke\": {},\n  \"campaigns\": [\n{}\n  ],\n  \"headline\": {{\"campaign\": \"{}\", \"speedup\": {:.3}}}\n}}\n",
+        smoke,
+        entries.join(",\n"),
+        headline_name,
+        headline_speedup
+    );
+    if let Err(err) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path} (headline: {headline_name} {headline_speedup:.2}x)");
+
+    if diverged {
+        eprintln!("ouessant-bench: FAILED — fast-forward is not bit-exact on this build");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

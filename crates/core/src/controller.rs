@@ -23,7 +23,7 @@ use ouessant_isa::operands::{Bank, BurstLen, FifoId, MAX_PROGRAM_LEN};
 use ouessant_isa::{DecodeError, Instruction};
 use ouessant_rac::rac::RacSocket;
 use ouessant_sim::bus::{BusError, MasterId};
-use ouessant_sim::SystemBus;
+use ouessant_sim::{Cycle, NextEvent, SystemBus};
 
 use crate::banks::{BankTranslation, TranslateError, PROGRAM_BANK};
 use crate::interface::{DmaPort, IrqLine};
@@ -370,6 +370,27 @@ impl Controller {
         self.pc += 1;
         self.current = None;
         self.state = ControllerState::Fetch;
+    }
+
+    /// The fast-forward horizon refined with the RAC socket the
+    /// controller is waiting on.
+    ///
+    /// The standalone [`NextEvent`] impl must answer `Some(1)` for
+    /// [`ControllerState::RacWait`] because the controller alone cannot
+    /// see when `end_op` will fire; the embedding OCP owns both halves
+    /// and can substitute the socket's horizon — which is where the
+    /// Table I compute latencies (the big idle windows) live.
+    #[must_use]
+    pub fn horizon_with(&self, socket: &RacSocket) -> Option<Cycle> {
+        match &self.state {
+            // Ticks in RacWait only bump `rac_wait_cycles` until the
+            // socket deasserts busy, so the socket's own horizon bounds
+            // the window. A quiescent socket (idle RAC) means `end_op`
+            // never fires — the embedding OCP turns that into a
+            // single-step safety net while the controller is active.
+            ControllerState::RacWait => socket.horizon(),
+            _ => self.horizon(),
+        }
     }
 
     /// Advances the controller one clock cycle.
@@ -749,6 +770,53 @@ impl Controller {
     #[must_use]
     pub fn burst_fits(burst: BurstLen, fifo_depth: usize) -> bool {
         usize::from(burst.words()) <= fifo_depth
+    }
+}
+
+impl NextEvent for Controller {
+    /// The countdown states (`wait`, `rcfg`) expose their full windows;
+    /// every other active state may transition on its very next tick.
+    ///
+    /// `Idle` reports quiescent *from the controller's own view*: a
+    /// pending S bit lives in the register file, so the embedding OCP
+    /// checks `start_pending` before trusting `None`. `RacWait` is
+    /// conservatively `Some(1)` here; [`Controller::horizon_with`]
+    /// refines it with the socket's horizon.
+    fn horizon(&self) -> Option<Cycle> {
+        match &self.state {
+            ControllerState::Idle | ControllerState::Faulted(_) => None,
+            ControllerState::WaitCycles { left } => Some(Cycle::new(u64::from(*left).max(1))),
+            ControllerState::ReconfigWait { left } => Some(Cycle::new((*left).max(1))),
+            _ => Some(Cycle::new(1)),
+        }
+    }
+
+    fn advance(&mut self, cycles: Cycle) {
+        let n = cycles.count();
+        if n == 0 {
+            return;
+        }
+        self.cycle += n;
+        if self.is_active() {
+            self.stats.active_cycles += n;
+        }
+        match &mut self.state {
+            // Idle / faulted ticks only advance the cycle counter (a
+            // start cannot be pending, or the horizon was 1).
+            ControllerState::Idle | ControllerState::Faulted(_) => {}
+            ControllerState::WaitCycles { left } => {
+                debug_assert!(n < u64::from(*left), "advanced past the wait window");
+                *left -= n as u16;
+            }
+            ControllerState::ReconfigWait { left } => {
+                debug_assert!(n < *left, "advanced past the bitstream load");
+                *left -= n;
+            }
+            // Waiting on `end_op`: each skipped tick would have charged
+            // one RAC-wait cycle.
+            ControllerState::RacWait => self.stats.rac_wait_cycles += n,
+            s => debug_assert!(false, "advance in non-pure state {s:?}"),
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 
 use ouessant_rac::rac::{Rac, RacSocket};
 use ouessant_sim::bus::Addr;
-use ouessant_sim::SystemBus;
+use ouessant_sim::{Cycle, SystemBus};
 
 use crate::controller::{Controller, ControllerStats, ExecError};
 use crate::interface::{DmaPort, IrqLine, RegSlavePort};
@@ -255,6 +255,43 @@ impl Ocp {
             controller: self.controller.stats(),
             total_cycles: self.total_cycles,
         }
+    }
+}
+
+impl ouessant_sim::NextEvent for Ocp {
+    /// Combines the controller's horizon (refined with the socket's, so
+    /// `RacWait` exposes the RAC's compute countdown) and the socket's
+    /// own horizon, with two guards:
+    ///
+    /// * an armed-but-unconsumed S bit or an undelivered completion
+    ///   event forces single-stepping (the next tick is an event);
+    /// * an *active* controller whose combined horizon is `None` (e.g.
+    ///   `wrac` parked on an idle RAC, or `sync` stuck on a FIFO the
+    ///   RAC will never drain) also single-steps — the OCP never
+    ///   declares a busy worker quiescent, it just stops predicting.
+    fn horizon(&self) -> Option<Cycle> {
+        if self.pending_event.is_some() || self.regs.start_pending() {
+            return Some(Cycle::new(1));
+        }
+        let h = ouessant_sim::min_horizon(
+            self.controller.horizon_with(&self.socket),
+            self.socket.horizon(),
+        );
+        if h.is_none() && self.controller.is_active() {
+            return Some(Cycle::new(1));
+        }
+        h
+    }
+
+    /// Replays `cycles` pure ticks: the cycle counter, the socket's
+    /// busy accounting and countdowns, and the controller's counters
+    /// all move exactly as `cycles` real ticks would have moved them.
+    /// The D-bit edge detector needs no replay — D only changes on
+    /// controller transitions, which are never inside a pure window.
+    fn advance(&mut self, cycles: Cycle) {
+        self.total_cycles += cycles.count();
+        self.socket.advance(cycles);
+        self.controller.advance(cycles);
     }
 }
 

@@ -202,6 +202,14 @@ impl RegisterFile {
         self.banks[index]
     }
 
+    /// Whether a start request is armed but not yet consumed by the
+    /// controller (used by the fast-forward kernel: a pending S bit
+    /// means the next controller tick is an event).
+    #[must_use]
+    pub fn start_pending(&self) -> bool {
+        self.start_pending
+    }
+
     /// Controller side: consumes a pending start request.
     pub fn take_start(&mut self) -> bool {
         let pending = self.start_pending;
@@ -249,6 +257,13 @@ impl RegsHandle {
     /// Runs `f` with exclusive access to the registers.
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut RegisterFile) -> R) -> R {
         f(&mut self.inner.borrow_mut())
+    }
+
+    /// Whether a start request is armed but not yet consumed (see
+    /// [`RegisterFile::start_pending`]).
+    #[must_use]
+    pub fn start_pending(&self) -> bool {
+        self.with(RegisterFile::start_pending)
     }
 
     /// Host helper: configures bank `index` at `base` (validated).

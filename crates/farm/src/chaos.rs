@@ -105,6 +105,26 @@ struct Squat {
     release_at: u64,
 }
 
+/// One worker fault the campaign decided to inject.
+///
+/// Rolling and applying are split so the farm's fast-forward path can
+/// replay the campaign's per-cycle dice over a skipped window (keeping
+/// the RNG stream bit-identical to single-stepping) and then land the
+/// injection at exactly the cycle the dice chose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Injection {
+    /// Poison the DPR load in flight on `worker`.
+    Bitstream {
+        worker: usize,
+        slot: u16,
+        available: usize,
+    },
+    /// Fault the DMA burst in flight on `worker`.
+    Bus { worker: usize },
+    /// Upset `worker`'s controller mid-job.
+    Controller { worker: usize },
+}
+
 /// A seeded, armed chaos campaign. Build one from a [`ChaosConfig`]
 /// and hand it to [`Farm::arm_chaos`].
 ///
@@ -143,45 +163,62 @@ impl FaultPlan {
     /// tick. `work_pending` gates new allocator squats: a squat is only
     /// worth taking while there are jobs it can starve, and never
     /// squatting an idle farm guarantees `run_until_idle` terminates.
+    ///
+    /// `scratch` is a reusable injection buffer (cleared here).
     pub(crate) fn tick(
         &mut self,
         now: u64,
         workers: &mut [Worker],
         alloc: &mut BankAllocator,
         work_pending: bool,
+        scratch: &mut Vec<Injection>,
     ) {
-        for worker in workers.iter_mut() {
+        scratch.clear();
+        self.roll_cycle(now, workers, alloc, work_pending, scratch);
+        Self::apply(workers, scratch);
+    }
+
+    /// Rolls one cycle's dice without touching any worker, pushing the
+    /// hits onto `out`. Squat release and take still happen here (they
+    /// only touch the allocator), so the squat timeline is exact even
+    /// when the farm replays a skipped window through this method.
+    ///
+    /// The dice are rolled in a fixed order — worker seams by pool
+    /// index, then the squat — so the RNG stream is a pure function of
+    /// each worker's (constant-per-window) controller-state category.
+    pub(crate) fn roll_cycle(
+        &mut self,
+        now: u64,
+        workers: &[Worker],
+        alloc: &mut BankAllocator,
+        work_pending: bool,
+        out: &mut Vec<Injection>,
+    ) {
+        for (wi, worker) in workers.iter().enumerate() {
             if worker.active.is_none() || worker.ocp.fault().is_some() {
                 continue;
             }
-            let state = worker.ocp.controller().state().clone();
-            match state {
+            match worker.ocp.controller().state() {
                 ControllerState::ReconfigWait { .. } => {
                     if self.roll(self.config.bitstream_one_in) {
-                        let slot = worker.loaded_config() as u16;
-                        let available = worker.caps().len();
-                        worker
-                            .ocp
-                            .inject_fault(ExecError::Reconfig { slot, available });
+                        out.push(Injection::Bitstream {
+                            worker: wi,
+                            slot: worker.loaded_config() as u16,
+                            available: worker.caps().len(),
+                        });
                         self.stats.bitstream_faults += 1;
                     }
                 }
                 ControllerState::LoadProgram | ControllerState::TransferBusWait => {
                     if self.roll(self.config.bus_one_in) {
-                        worker
-                            .ocp
-                            .inject_fault(ExecError::Bus(BusError::Fault(SlaveFault {
-                                reason: "chaos: slave error response on DMA burst".to_string(),
-                            })));
+                        out.push(Injection::Bus { worker: wi });
                         self.stats.bus_faults += 1;
                     }
                 }
                 ControllerState::Idle | ControllerState::Faulted(_) => {}
                 _ => {
                     if self.roll(self.config.controller_one_in) {
-                        worker.ocp.inject_fault(ExecError::Injected {
-                            cause: "chaos: controller upset",
-                        });
+                        out.push(Injection::Controller { worker: wi });
                         self.stats.controller_faults += 1;
                     }
                 }
@@ -205,6 +242,67 @@ impl FaultPlan {
                 self.stats.alloc_squats += 1;
             }
         }
+    }
+
+    /// Lands previously rolled injections on their workers.
+    pub(crate) fn apply(workers: &mut [Worker], injections: &[Injection]) {
+        for inj in injections {
+            match *inj {
+                Injection::Bitstream {
+                    worker,
+                    slot,
+                    available,
+                } => {
+                    workers[worker]
+                        .ocp
+                        .inject_fault(ExecError::Reconfig { slot, available });
+                }
+                Injection::Bus { worker } => {
+                    workers[worker]
+                        .ocp
+                        .inject_fault(ExecError::Bus(BusError::Fault(SlaveFault {
+                            reason: "chaos: slave error response on DMA burst".to_string(),
+                        })));
+                }
+                Injection::Controller { worker } => {
+                    workers[worker].ocp.inject_fault(ExecError::Injected {
+                        cause: "chaos: controller upset",
+                    });
+                }
+            }
+        }
+    }
+
+    /// Replays up to `max` cycles of dice starting at cycle `start`,
+    /// stopping after the first cycle that injects. Returns the number
+    /// of cycles consumed (`1..=max`); hits land on `out`.
+    ///
+    /// Worker states are read but never written: inside a provably-pure
+    /// window every worker's controller-state *category* is constant
+    /// (a category change would be an event bounding the window), so
+    /// the dice rolled here are exactly the dice single-stepping would
+    /// roll.
+    pub(crate) fn fast_forward(
+        &mut self,
+        start: u64,
+        max: u64,
+        workers: &[Worker],
+        alloc: &mut BankAllocator,
+        work_pending: bool,
+        out: &mut Vec<Injection>,
+    ) -> u64 {
+        for i in 0..max {
+            self.roll_cycle(start + i, workers, alloc, work_pending, out);
+            if !out.is_empty() {
+                return i + 1;
+            }
+        }
+        max
+    }
+
+    /// When the held squat (if any) will release its lease.
+    pub(crate) fn squat_release_at(&self) -> Option<u64> {
+        self.squat.as_ref().map(|s| s.release_at)
     }
 
     /// Whether the plan is still holding a shared-memory squat (the

@@ -93,6 +93,12 @@ pub struct FarmConfig {
     pub sram: SramConfig,
     /// Fault-handling policy.
     pub faults: FaultConfig,
+    /// Event-horizon fast-forward: [`Farm::run_until_idle`] skips
+    /// provably-idle windows in O(1) instead of ticking through them.
+    /// Bit-exact with single-stepping (same records, reports, fault
+    /// timeline and RNG stream); disable only to cross-check that
+    /// claim or to trace every cycle.
+    pub fast_forward: bool,
 }
 
 impl Default for FarmConfig {
@@ -105,6 +111,7 @@ impl Default for FarmConfig {
             bus: BusConfig::default(),
             sram: SramConfig::default(),
             faults: FaultConfig::default(),
+            fast_forward: true,
         }
     }
 }
@@ -205,6 +212,14 @@ pub struct Farm {
     /// Set by a fault under `fail_fast`; `run_until_idle` converts it
     /// into an `Err` at the end of the tick.
     fault_abort: Option<(usize, WorkerFaultKind)>,
+    /// Simulated cycles covered by fast-forward leaps (⊆ total cycles).
+    skipped_cycles: u64,
+    /// Host wall time spent inside `run_until_idle`.
+    wall: std::time::Duration,
+    /// Reusable per-worker swap-cost buffers for dispatch.
+    swap_scratch: Vec<Vec<u64>>,
+    /// Reusable injection buffer for the chaos plan.
+    injection_scratch: Vec<crate::chaos::Injection>,
 }
 
 impl fmt::Debug for Farm {
@@ -247,6 +262,10 @@ impl Farm {
             retries: 0,
             quarantines: 0,
             fault_abort: None,
+            skipped_cycles: 0,
+            wall: std::time::Duration::ZERO,
+            swap_scratch: Vec::new(),
+            injection_scratch: Vec::new(),
         }
     }
 
@@ -451,7 +470,13 @@ impl Farm {
             || !self.parked.is_empty()
             || self.workers.iter().any(|w| !w.is_idle());
         if let Some(plan) = self.chaos.as_mut() {
-            plan.tick(now, &mut self.workers, &mut self.alloc, work_pending);
+            plan.tick(
+                now,
+                &mut self.workers,
+                &mut self.alloc,
+                work_pending,
+                &mut self.injection_scratch,
+            );
         }
         self.bus.tick();
         self.collect_completions();
@@ -480,6 +505,13 @@ impl Farm {
     /// [`FarmError::Stalled`] after `fuel` cycles with work pending,
     /// [`FarmError::WorkerFault`] on the first fault in fail-fast mode.
     pub fn run_until_idle(&mut self, fuel: u64) -> Result<u64, FarmError> {
+        let wall_start = std::time::Instant::now();
+        let result = self.run_until_idle_inner(fuel);
+        self.wall += wall_start.elapsed();
+        result
+    }
+
+    fn run_until_idle_inner(&mut self, fuel: u64) -> Result<u64, FarmError> {
         let start = self.now();
         loop {
             let squatting = self.chaos.as_ref().is_some_and(FaultPlan::holding_squat);
@@ -502,12 +534,133 @@ impl Farm {
                     in_flight: self.in_flight(),
                 });
             }
-            self.tick();
+            if self.config.fast_forward {
+                // A leap of N cycles consumes N fuel, so `Stalled`
+                // fires at exactly the cycle single-stepping would
+                // reach: leaps are clamped to the fuel remaining.
+                self.leap_or_tick(start, fuel);
+            } else {
+                self.tick();
+            }
             if let Some((worker, fault)) = self.fault_abort.take() {
                 return Err(FarmError::WorkerFault { worker, fault });
             }
         }
         Ok(self.now() - start)
+    }
+
+    /// The earliest future tick (1-based offset from now) at which any
+    /// observable farm state can change, or `None` when fully
+    /// quiescent. The minimum over:
+    ///
+    /// * dispatch — pending work plus a dispatchable worker means the
+    ///   very next tick may launch a job (or charge an alloc stall);
+    /// * every worker's OCP and health-timer horizon;
+    /// * every parked retry's unpark tick;
+    /// * an armed chaos squat's release tick (bounds the leap so
+    ///   `run_until_idle` observes the release at the exact cycle
+    ///   single-stepping would, and terminates then);
+    /// * the shared bus.
+    fn idle_horizon(&self) -> Option<u64> {
+        if !self.queue.is_empty() && self.workers.iter().any(Worker::is_dispatchable) {
+            return Some(1);
+        }
+        // A bus with a beat in flight pins the min to one cycle, so
+        // skip the (much costlier) per-worker scan outright; this is
+        // the common case on transfer-saturated campaigns.
+        let bus = ouessant_sim::NextEvent::horizon(&self.bus).map(u64::from);
+        if bus == Some(1) {
+            return Some(1);
+        }
+        let now = self.now();
+        let mut h: Option<u64> = None;
+        let mut merge = |e: Option<u64>| {
+            if let Some(e) = e {
+                let e = e.max(1);
+                h = Some(h.map_or(e, |cur| cur.min(e)));
+            }
+        };
+        merge(bus);
+        for w in &self.workers {
+            merge(w.horizon_at(now, &self.config.faults));
+        }
+        for p in &self.parked {
+            // Unpark happens in the tick whose pre-tick cycle first
+            // satisfies `ready_at <= now`.
+            merge(Some((p.ready_at + 1).saturating_sub(now)));
+        }
+        if let Some(release_at) = self.chaos.as_ref().and_then(FaultPlan::squat_release_at) {
+            merge(Some((release_at + 1).saturating_sub(now)));
+        }
+        h
+    }
+
+    /// One fast-forward step: leap over the provably-pure window in
+    /// front of `now`, or fall back to a single [`Farm::tick`] when the
+    /// window is empty.
+    ///
+    /// With chaos armed, the plan's dice are replayed cycle-by-cycle
+    /// over the window (identical RNG stream to single-stepping); the
+    /// leap stops at the first cycle that injects, the injections land
+    /// there, and the fault machinery runs exactly as it would have in
+    /// that tick.
+    fn leap_or_tick(&mut self, start: u64, fuel: u64) {
+        let now = self.now();
+        let remaining = fuel - (now - start);
+        let bound = match self.idle_horizon() {
+            Some(h) => (h - 1).min(remaining),
+            None => remaining,
+        };
+        if bound == 0 {
+            self.tick();
+            return;
+        }
+        // Frozen for the whole window: queue/park/in-flight membership
+        // only changes at events, which the horizon excludes.
+        let work_pending = !self.queue.is_empty()
+            || !self.parked.is_empty()
+            || self.workers.iter().any(|w| !w.is_idle());
+        self.injection_scratch.clear();
+        let leap = match self.chaos.as_mut() {
+            Some(plan) => plan.fast_forward(
+                now,
+                bound,
+                &self.workers,
+                &mut self.alloc,
+                work_pending,
+                &mut self.injection_scratch,
+            ),
+            None => bound,
+        };
+        debug_assert!((1..=bound).contains(&leap), "leap within the pure window");
+        for w in &mut self.workers {
+            w.advance(leap);
+        }
+        ouessant_sim::NextEvent::advance(&mut self.bus, ouessant_sim::Cycle::new(leap));
+        self.skipped_cycles += leap;
+        if !self.injection_scratch.is_empty() {
+            // The dice hit at the last leaped cycle: land the faults
+            // and run the back half of that tick (no completions are
+            // possible inside a pure window, so collection is skipped).
+            FaultPlan::apply(&mut self.workers, &self.injection_scratch);
+            self.handle_faults();
+            let now = self.now();
+            for w in &mut self.workers {
+                w.advance_health(&mut self.bus, now, &self.config.faults);
+            }
+        }
+    }
+
+    /// Simulated cycles covered by fast-forward leaps so far.
+    #[must_use]
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Host wall time spent inside [`Farm::run_until_idle`] so far.
+    #[must_use]
+    pub fn wall_time(&self) -> std::time::Duration {
+        self.wall
     }
 
     /// Builds the aggregate serving report.
@@ -540,7 +693,6 @@ impl Farm {
             .collect();
         FarmReport::build(
             self.policy.name().to_string(),
-            total_cycles,
             &self.completed,
             &self.queue,
             self.alloc.stats(),
@@ -550,16 +702,31 @@ impl Farm {
                 retries: self.retries,
                 quarantines: self.quarantines,
             },
+            crate::stats::PerfTally {
+                total_cycles,
+                skipped_cycles: self.skipped_cycles,
+                host_wall: self.wall,
+            },
         )
     }
 
     /// One scheduling round: asks the policy for assignments until it
     /// passes or shared memory runs out.
     fn dispatch(&mut self) {
+        // Runs every tick: get out before building any policy view
+        // when there is nothing to place or nowhere to place it.
+        if self.queue.is_empty() || !self.workers.iter().any(Worker::is_dispatchable) {
+            return;
+        }
         let now = self.now();
+        // The per-worker swap-cost buffers are scratch owned by the
+        // farm — dispatch must not allocate fresh Vecs per round.
+        let mut swap_costs = std::mem::take(&mut self.swap_scratch);
+        swap_costs.resize_with(self.workers.len(), Vec::new);
         loop {
-            let swap_costs: Vec<Vec<u64>> =
-                self.workers.iter().map(Worker::swap_costs_view).collect();
+            for (w, buf) in self.workers.iter().zip(swap_costs.iter_mut()) {
+                w.fill_swap_costs(buf);
+            }
             let views: Vec<WorkerView<'_>> = self
                 .workers
                 .iter()
@@ -575,7 +742,7 @@ impl Farm {
                 })
                 .collect();
             let Some(pick) = self.policy.pick(now, self.queue.pending(), &views) else {
-                return;
+                break;
             };
             let worker = &self.workers[pick.worker_index];
             assert!(
@@ -613,7 +780,7 @@ impl Farm {
             ) else {
                 // Memory pressure: leave the job queued; retry next cycle.
                 self.alloc_stalls += 1;
-                return;
+                break;
             };
             let job = self.queue.take(pick.queue_index);
             self.workers[pick.worker_index].launch(
@@ -625,6 +792,7 @@ impl Farm {
                 regions,
             );
         }
+        self.swap_scratch = swap_costs;
     }
 
     /// Leases the three regions of one job, unwinding on partial

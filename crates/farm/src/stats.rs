@@ -146,6 +146,14 @@ pub struct FarmReport {
     pub alloc: AllocStats,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerReport>,
+    /// Simulated cycles covered by event-horizon fast-forward leaps
+    /// (0 when the farm single-stepped throughout).
+    pub skipped_cycles: u64,
+    /// Host wall-clock seconds spent inside `Farm::run_until_idle`.
+    pub host_wall_seconds: f64,
+    /// Simulated cycles per host wall-clock second (0 when no wall
+    /// time was measured).
+    pub cycles_per_second: f64,
 }
 
 /// Pool-level fault bookkeeping the farm feeds into the report.
@@ -159,19 +167,31 @@ pub(crate) struct FaultTally {
     pub quarantines: u64,
 }
 
+/// Host-side performance bookkeeping the farm feeds into the report.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PerfTally {
+    /// Total simulated cycles the farm has run.
+    pub total_cycles: u64,
+    /// Simulated cycles covered by fast-forward leaps.
+    pub skipped_cycles: u64,
+    /// Host wall time spent inside `run_until_idle`.
+    pub host_wall: std::time::Duration,
+}
+
 impl FarmReport {
     /// Builds the aggregate report from completed-job records and the
     /// admission queue's counters.
     #[must_use]
     pub(crate) fn build(
         policy: String,
-        total_cycles: u64,
         records: &[JobRecord],
         queue: &crate::queue::SubmitQueue,
         alloc: AllocStats,
         workers: Vec<WorkerReport>,
         faults: FaultTally,
+        perf: PerfTally,
     ) -> Self {
+        let total_cycles = perf.total_cycles;
         let rejected_full = queue.rejected_full();
         let rejected_invalid = queue.rejected_invalid();
         let rejected_unsafe = queue.rejected_unsafe();
@@ -222,6 +242,24 @@ impl FarmReport {
             per_kind,
             alloc,
             workers,
+            skipped_cycles: perf.skipped_cycles,
+            host_wall_seconds: perf.host_wall.as_secs_f64(),
+            cycles_per_second: if perf.host_wall.is_zero() {
+                0.0
+            } else {
+                total_cycles as f64 / perf.host_wall.as_secs_f64()
+            },
+        }
+    }
+
+    /// Fraction of simulated cycles covered by fast-forward leaps
+    /// (0.0 when the farm single-stepped throughout).
+    #[must_use]
+    pub fn skipped_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / self.total_cycles as f64
         }
     }
 }
@@ -257,6 +295,17 @@ impl fmt::Display for FarmReport {
             "cycles: {}   throughput: {:.2} jobs/Mcycle   swaps: {}   deadline misses: {}",
             self.total_cycles, self.throughput_jobs_per_mcycle, self.swaps, self.deadline_misses
         )?;
+        if self.host_wall_seconds > 0.0 {
+            writeln!(
+                f,
+                "host: {:.3} s wall   {:.2} Mcycle/s   fast-forwarded {} of {} cycles ({:.1}%)",
+                self.host_wall_seconds,
+                self.cycles_per_second / 1.0e6,
+                self.skipped_cycles,
+                self.total_cycles,
+                self.skipped_fraction() * 100.0
+            )?;
+        }
         writeln!(f, "queue wait: {}", self.queue_wait)?;
         writeln!(f, "service:    {}", self.service)?;
         writeln!(f, "latency:    {}", self.latency)?;

@@ -436,12 +436,12 @@ impl Worker {
         }
     }
 
-    /// Snapshot of the per-capability swap costs for the policy view.
-    #[must_use]
-    pub(crate) fn swap_costs_view(&self) -> Vec<u64> {
-        (0..self.caps.len())
-            .map(|i| self.swap_cost_now(i))
-            .collect()
+    /// Fills `out` with the per-capability swap costs for the policy
+    /// view (a reusable scratch buffer — dispatch runs every cycle and
+    /// must not allocate per tick).
+    pub(crate) fn fill_swap_costs(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend((0..self.caps.len()).map(|i| self.swap_cost_now(i)));
     }
 
     /// The loaded capability index.
@@ -514,6 +514,51 @@ impl Worker {
         if self.active.is_some() {
             self.busy_cycles += 1;
         }
+    }
+
+    /// Bulk-applies `cycles` provably-idle ticks in O(1). Only sound
+    /// inside a window bounded by [`Worker::horizon_at`]; leaves the
+    /// worker bit-identical to `cycles` calls of [`Worker::tick`].
+    pub(crate) fn advance(&mut self, cycles: u64) {
+        ouessant_sim::NextEvent::advance(&mut self.ocp, ouessant_sim::Cycle::new(cycles));
+        if self.active.is_some() {
+            self.busy_cycles += cycles;
+        }
+    }
+
+    /// The earliest future tick (1-based offset from cycle `now`) at
+    /// which this worker's observable state can change, or `None` if it
+    /// is quiescent. Combines the OCP's own horizon with the worker's
+    /// health timers, which single-stepping advances in
+    /// [`Worker::advance_health`]:
+    ///
+    /// * a recovering worker retries [`Ocp::try_recover`] every tick,
+    ///   so it always single-steps;
+    /// * a timed quarantine lifts when the post-tick cycle reaches
+    ///   `quarantine_until`;
+    /// * a degraded worker heals when the post-tick cycle reaches
+    ///   `degraded_since + fault_window`.
+    pub(crate) fn horizon_at(&self, now: u64, cfg: &FaultConfig) -> Option<u64> {
+        if self.recovering {
+            return Some(1);
+        }
+        let mut h = ouessant_sim::NextEvent::horizon(&self.ocp).map(u64::from);
+        let mut merge = |event_in: u64| {
+            let e = event_in.max(1);
+            h = Some(h.map_or(e, |cur| cur.min(e)));
+        };
+        match self.health {
+            WorkerHealth::Quarantined => {
+                if let Some(until) = self.quarantine_until {
+                    merge(until.saturating_sub(now));
+                }
+            }
+            WorkerHealth::Degraded => {
+                merge((self.degraded_since + cfg.fault_window).saturating_sub(now));
+            }
+            WorkerHealth::Healthy => {}
+        }
+        h
     }
 
     /// Completion accounting hook for the farm's poll loop.

@@ -1,0 +1,386 @@
+//! Differential "lockstep oracle" suite for event-horizon
+//! fast-forward.
+//!
+//! Every test here runs the *same* campaign twice — once single-
+//! stepping every cycle (`fast_forward: false`), once leaping over
+//! provably-idle windows — and asserts the two farms are
+//! observationally identical: same simulated cycle count, same
+//! `JobRecord` stream (ids, outcomes, timestamps, outputs), same lease
+//! ledger, same per-worker counters, same chaos statistics and RNG
+//! consumption. Fast-forward is a pure wall-time optimisation; any
+//! divergence here is a correctness bug, not a tuning matter.
+
+use ouessant_farm::{
+    ChaosConfig, ChaosStats, DprAffinityPolicy, Farm, FarmConfig, FarmError, FaultConfig,
+    FaultPlan, FifoPolicy, JobKind, JobOutcome, JobSpec, RoundRobinPolicy, SchedPolicy,
+    WorkerHealth,
+};
+use ouessant_isa::ProgramBuilder;
+use ouessant_sim::XorShift64;
+
+const IDCT: JobKind = JobKind::Idct;
+const DFT64: JobKind = JobKind::Dft { points: 64 };
+const COPY3: JobKind = JobKind::Copy { scale: 3 };
+
+const WORKLOAD_SEED: u64 = 0xDA7E_2016;
+
+/// The fault policy every lockstep campaign runs under: generous
+/// retries plus a cooldown, so chaos exercises park/unpark, quarantine
+/// and probation timers — exactly the timers the horizon must model.
+const FAULTS: FaultConfig = FaultConfig {
+    max_attempts: 10,
+    retry_backoff: 500,
+    fault_window: 40_000,
+    quarantine_threshold: 3,
+    quarantine_cooldown: Some(60_000),
+    fail_fast: false,
+};
+
+fn policy(name: &str) -> Box<dyn SchedPolicy> {
+    match name {
+        "fifo" => Box::new(FifoPolicy::new()),
+        "round-robin" => Box::new(RoundRobinPolicy::new()),
+        "dpr-affinity" => Box::new(DprAffinityPolicy::new()),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+fn payload(kind: JobKind, rng: &mut XorShift64) -> Vec<u32> {
+    let words = kind.required_input_words().unwrap_or(48);
+    (0..words)
+        .map(|_| (rng.gen_range_i32(-1024..1024)) as u32)
+        .collect()
+}
+
+fn workload(n: usize, seed: u64) -> Vec<JobSpec> {
+    let mut rng = XorShift64::new(seed);
+    (0..n)
+        .map(|i| {
+            let kind = match i % 3 {
+                0 => IDCT,
+                1 => DFT64,
+                _ => COPY3,
+            };
+            JobSpec::new(kind, payload(kind, &mut rng))
+        })
+        .collect()
+}
+
+fn build_farm(policy_name: &str, fast_forward: bool) -> Farm {
+    let mut farm = Farm::new(
+        FarmConfig {
+            queue_capacity: 512,
+            faults: FAULTS,
+            fast_forward,
+            ..FarmConfig::default()
+        },
+        policy(policy_name),
+    );
+    farm.add_worker(IDCT);
+    farm.add_worker(DFT64);
+    farm.add_dpr_worker(&[(IDCT, 40_000), (COPY3, 40_000)]);
+    farm.add_dpr_worker(&[(COPY3, 40_000), (DFT64, 60_000)]);
+    farm
+}
+
+/// Everything observable about a finished run, minus host wall time.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    cycles_run: u64,
+    now: u64,
+    records: Vec<RecordKey>,
+    alloc: ouessant_soc::alloc::AllocStats,
+    leased_words: u32,
+    alloc_stalls: u64,
+    worker_faults: u64,
+    retries: u64,
+    quarantines: u64,
+    workers: Vec<WorkerKey>,
+    chaos: Option<ChaosStats>,
+}
+
+#[derive(Debug, PartialEq)]
+struct RecordKey {
+    id: u64,
+    kind: String,
+    worker: usize,
+    outcome: JobOutcome,
+    submitted_at: u64,
+    started_at: u64,
+    completed_at: u64,
+    swapped: bool,
+    contention_cycles: u64,
+    output: Vec<u32>,
+}
+
+#[derive(Debug, PartialEq)]
+struct WorkerKey {
+    jobs: u64,
+    swaps: u64,
+    busy_cycles: u64,
+    bus_grants: u64,
+    bus_beats: u64,
+    contention_cycles: u64,
+    health: WorkerHealth,
+    faults: u64,
+    quarantines: u64,
+    loaded: usize,
+}
+
+fn fingerprint(farm: &Farm, cycles_run: u64) -> Fingerprint {
+    let report = farm.report();
+    Fingerprint {
+        cycles_run,
+        now: farm.now(),
+        records: farm
+            .records()
+            .iter()
+            .map(|r| RecordKey {
+                id: r.id.0,
+                kind: r.kind.to_string(),
+                worker: r.worker,
+                outcome: r.outcome.clone(),
+                submitted_at: r.submitted_at,
+                started_at: r.started_at,
+                completed_at: r.completed_at,
+                swapped: r.swapped,
+                contention_cycles: r.contention_cycles,
+                output: r.output.clone(),
+            })
+            .collect(),
+        alloc: report.alloc,
+        leased_words: farm.leased_words(),
+        alloc_stalls: farm.alloc_stalls(),
+        worker_faults: report.worker_faults,
+        retries: report.retries,
+        quarantines: report.quarantines,
+        workers: farm
+            .workers()
+            .iter()
+            .zip(&report.workers)
+            .map(|(w, wr)| WorkerKey {
+                jobs: w.jobs_served(),
+                swaps: w.swaps(),
+                busy_cycles: w.busy_cycles(),
+                bus_grants: wr.bus_grants,
+                bus_beats: wr.bus_beats,
+                contention_cycles: wr.contention_cycles,
+                health: w.health(),
+                faults: w.faults_total(),
+                quarantines: w.quarantines_total(),
+                loaded: w.loaded_config(),
+            })
+            .collect(),
+        chaos: farm.chaos_stats(),
+    }
+}
+
+fn run_campaign(
+    policy_name: &str,
+    chaos: Option<ChaosConfig>,
+    specs: &[JobSpec],
+    fast_forward: bool,
+) -> Fingerprint {
+    let mut farm = build_farm(policy_name, fast_forward);
+    if let Some(config) = chaos.clone() {
+        farm.arm_chaos(FaultPlan::new(config));
+    }
+    for spec in specs {
+        farm.submit(spec.clone())
+            .expect("queue sized for the whole workload");
+    }
+    let cycles = farm
+        .run_until_idle(400_000_000)
+        .expect("campaign must drain");
+    if !fast_forward {
+        assert_eq!(farm.skipped_cycles(), 0, "single-stepping never leaps");
+    }
+    fingerprint(&farm, cycles)
+}
+
+fn assert_lockstep(
+    policy_name: &str,
+    chaos: Option<ChaosConfig>,
+    specs: &[JobSpec],
+    tag: &str,
+) -> Fingerprint {
+    let fast = run_campaign(policy_name, chaos.clone(), specs, true);
+    let slow = run_campaign(policy_name, chaos, specs, false);
+    assert_eq!(
+        fast, slow,
+        "fast-forward diverged from single-stepping ({tag}, {policy_name})"
+    );
+    fast
+}
+
+/// A calm (chaos-free) campaign must be bit-exact under every policy.
+#[test]
+fn calm_campaign_is_bit_exact_under_every_policy() {
+    let specs = workload(48, WORKLOAD_SEED);
+    for policy_name in ["fifo", "round-robin", "dpr-affinity"] {
+        assert_lockstep(policy_name, None, &specs, "calm");
+    }
+}
+
+/// The 4-seam × 3-policy chaos sweep: each cell arms exactly one fault
+/// seam and must replay bit-exact — including the injected-fault
+/// cycle stamps, the retry/park timeline and the RNG stream behind the
+/// chaos statistics.
+#[test]
+fn chaos_matrix_sweep_is_bit_exact() {
+    let specs = workload(48, WORKLOAD_SEED);
+    for seam in ["controller", "bus", "bitstream", "alloc"] {
+        let mut config = ChaosConfig {
+            seed: 0xC4A0_5EED ^ seam.len() as u64,
+            controller_one_in: 0,
+            bus_one_in: 0,
+            bitstream_one_in: 0,
+            alloc_one_in: 0,
+            alloc_hold: 3_000,
+        };
+        match seam {
+            "controller" => config.controller_one_in = 15_000,
+            "bus" => config.bus_one_in = 12_000,
+            "bitstream" => config.bitstream_one_in = 3_000,
+            "alloc" => config.alloc_one_in = 4_000,
+            other => panic!("unknown seam {other}"),
+        }
+        // Each seam must actually inject somewhere in its row of the
+        // matrix, or the sweep proves nothing about that seam.
+        let mut fired = 0;
+        for policy_name in ["fifo", "round-robin", "dpr-affinity"] {
+            let cell = assert_lockstep(policy_name, Some(config.clone()), &specs, seam);
+            let stats = cell.chaos.expect("campaign was armed");
+            fired += stats.worker_faults() + stats.alloc_squats;
+        }
+        assert!(fired > 0, "the {seam} seam never fired");
+    }
+}
+
+/// All four seams armed at once, full acceptance-campaign scale.
+#[test]
+fn full_chaos_campaign_is_bit_exact() {
+    let specs = workload(240, WORKLOAD_SEED);
+    let config = ChaosConfig {
+        seed: 0xFA11_FA57,
+        controller_one_in: 25_000,
+        bus_one_in: 20_000,
+        bitstream_one_in: 4_000,
+        alloc_one_in: 6_000,
+        alloc_hold: 3_000,
+    };
+    let fast = run_campaign("round-robin", Some(config.clone()), &specs, true);
+    let slow = run_campaign("round-robin", Some(config), &specs, false);
+    assert_eq!(fast, slow, "acceptance campaign diverged");
+    let stats = fast.chaos.expect("campaign was armed");
+    assert!(
+        stats.worker_faults() > 0 && stats.alloc_squats > 0,
+        "campaign must exercise worker and allocator seams: {stats:?}"
+    );
+    assert!(
+        fast.retries > 0,
+        "campaign must exercise the retry-park timers"
+    );
+}
+
+/// Seeded random *custom microcode* jobs: programs with random-length
+/// `wait` sleeps on both sides of `exec` stress the `WaitCycles`
+/// horizon (the largest single-program leap source) and must replay
+/// bit-exact through admission verification, dispatch and service.
+#[test]
+fn random_microcode_campaign_is_bit_exact() {
+    let mut rng = XorShift64::new(0x5EED_C0DE);
+    let mut specs = Vec::new();
+    for _ in 0..24 {
+        let words = rng.gen_range_u32(8..64);
+        let input: Vec<u32> = (0..words)
+            .map(|_| rng.gen_range_i32(-1024..1024) as u32)
+            .collect();
+        let pre_wait = rng.gen_range_u32(1..5_000) as u16;
+        let post_wait = rng.gen_range_u32(1..5_000) as u16;
+        let program = ProgramBuilder::new()
+            .transfer_to_coprocessor(1, 0, words, 64, 0)
+            .expect("payload fits the offset field")
+            .wait(pre_wait)
+            .execs_op(u16::try_from(words).expect("payload fits u16"))
+            .wait(post_wait)
+            .transfer_from_coprocessor(2, 0, words, 64, 0)
+            .expect("payload fits the offset field")
+            .eop()
+            .finish()
+            .expect("generated program is structurally valid");
+        specs.push(JobSpec::new(JobKind::Copy { scale: 3 }, input).with_microcode(program));
+    }
+    for policy_name in ["fifo", "round-robin"] {
+        assert_lockstep(policy_name, None, &specs, "random-microcode");
+    }
+}
+
+/// Fuel-accounting regression (a leap of N cycles must consume N
+/// fuel): `FarmError::Stalled` fires at the *same simulated cycle* in
+/// both stepping modes, with identical queue/in-flight snapshots.
+#[test]
+fn stall_fires_at_identical_cycle_in_both_modes() {
+    let specs = workload(6, WORKLOAD_SEED);
+    let fuel = 1_000;
+    let mut errs = Vec::new();
+    for fast_forward in [true, false] {
+        let mut farm = build_farm("fifo", fast_forward);
+        for spec in &specs {
+            farm.submit(spec.clone()).unwrap();
+        }
+        let err = farm
+            .run_until_idle(fuel)
+            .expect_err("six mixed jobs cannot drain in 1k cycles");
+        assert_eq!(
+            farm.now(),
+            fuel,
+            "the stall must land exactly at the fuel boundary (fast={fast_forward})"
+        );
+        errs.push((err, fingerprint(&farm, 0)));
+    }
+    let (fast_err, fast_fp) = &errs[0];
+    let (slow_err, slow_fp) = &errs[1];
+    assert!(
+        matches!(fast_err, FarmError::Stalled { cycles, .. } if *cycles == fuel),
+        "stall reports full fuel spent: {fast_err:?}"
+    );
+    assert_eq!(fast_err, slow_err, "stall snapshots diverged");
+    assert_eq!(fast_fp, slow_fp, "post-stall farm state diverged");
+}
+
+/// The fast path must actually skip work on a compute-dominated
+/// campaign — otherwise the benchmark harness is measuring nothing.
+/// Large DFTs are the honest case: a 1024-point transform computes
+/// for `n log2 n + 3n/2 + 53` cycles between its two DMA bursts, so
+/// most of a job's lifetime is a provably-pure window.
+#[test]
+fn fast_forward_skips_a_meaningful_fraction() {
+    let kind = JobKind::Dft { points: 1024 };
+    let mut rng = XorShift64::new(WORKLOAD_SEED);
+    let specs: Vec<JobSpec> = (0..12)
+        .map(|_| JobSpec::new(kind, payload(kind, &mut rng)))
+        .collect();
+    let mut farm = Farm::new(
+        FarmConfig {
+            fifo_depth: 4096,
+            fast_forward: true,
+            ..FarmConfig::default()
+        },
+        policy("fifo"),
+    );
+    farm.add_worker(kind);
+    for spec in &specs {
+        farm.submit(spec.clone()).unwrap();
+    }
+    farm.run_until_idle(400_000_000).unwrap();
+    let report = farm.report();
+    assert_eq!(report.skipped_cycles, farm.skipped_cycles());
+    assert!(
+        report.skipped_fraction() > 0.5,
+        "expected >50% of cycles leaped, got {:.1}% ({} of {})",
+        report.skipped_fraction() * 100.0,
+        report.skipped_cycles,
+        report.total_cycles
+    );
+}

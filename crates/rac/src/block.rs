@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use ouessant_sim::Cycle;
+
 use crate::rac::{Rac, RacIo};
 
 /// The data path and timing of a block-processing accelerator.
@@ -150,6 +152,35 @@ impl<K: BlockKernel> Rac for BlockRac<K> {
                     self.state = State::Idle; // end_op
                 }
             }
+        }
+    }
+
+    fn horizon(&self) -> Option<Cycle> {
+        match self.state {
+            State::Idle => None,
+            // Collecting and draining interact with the FIFOs, whose
+            // contents the controller can change any cycle.
+            State::Collecting | State::Draining => Some(Cycle::new(1)),
+            // The latency countdown is pure: `cycles_left - 1` ticks
+            // only decrement the counter, then the transition to
+            // `Draining` is the event (a zero-latency kernel moves on
+            // its very next tick).
+            State::Computing { cycles_left } => Some(Cycle::new(cycles_left.max(1))),
+        }
+    }
+
+    fn advance(&mut self, cycles: Cycle) {
+        let n = cycles.count();
+        if n == 0 {
+            return;
+        }
+        match &mut self.state {
+            State::Computing { cycles_left } => {
+                debug_assert!(n < *cycles_left, "advanced past the compute horizon");
+                *cycles_left -= n;
+            }
+            State::Idle => {} // idle ticks are no-ops
+            s => debug_assert!(false, "advance in non-pure state {s:?}"),
         }
     }
 }

@@ -259,6 +259,12 @@ impl crate::rac::Rac for DftRac {
     fn tick(&mut self, io: &mut crate::rac::RacIo<'_>) {
         self.inner.tick(io);
     }
+    fn horizon(&self) -> Option<ouessant_sim::Cycle> {
+        self.inner.horizon()
+    }
+    fn advance(&mut self, cycles: ouessant_sim::Cycle) {
+        self.inner.advance(cycles);
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,12 @@ impl Rac for MatMulRac {
     fn tick(&mut self, io: &mut RacIo<'_>) {
         self.inner.tick(io);
     }
+    fn horizon(&self) -> Option<ouessant_sim::Cycle> {
+        self.inner.horizon()
+    }
+    fn advance(&mut self, cycles: ouessant_sim::Cycle) {
+        self.inner.advance(cycles);
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! FIFO arrangement of Figure 2.
 
 use ouessant_sim::fifo::WidthAdapter;
+use ouessant_sim::Cycle;
 
 use crate::rac::{Rac, RacIo};
 
@@ -106,6 +107,15 @@ impl Rac for PassthroughRac {
         if self.to_consume == 0 && io.inputs[0].is_empty() && self.in_flight.is_empty() {
             self.busy = false; // end_op
         }
+    }
+
+    // The default `horizon` (busy → next tick, idle → quiescent) is
+    // right for this streaming pipe, but its idle tick still counts
+    // `tick_count`, so a fast-forwarded idle window must replay that
+    // counter to stay bit-identical.
+    fn advance(&mut self, cycles: Cycle) {
+        debug_assert!(!self.busy, "passthrough advanced while busy");
+        self.tick_count += cycles.count();
     }
 }
 

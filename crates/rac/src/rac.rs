@@ -11,6 +11,7 @@ use std::error::Error;
 use std::fmt;
 
 use ouessant_sim::fifo::{FifoError, SyncFifo};
+use ouessant_sim::Cycle;
 
 /// Error type for RAC harness operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +119,34 @@ pub trait Rac {
     fn reconfigure(&mut self, slot: u16) -> ReconfigResponse {
         let _ = slot;
         ReconfigResponse::Unsupported
+    }
+
+    /// Fast-forward horizon (see `ouessant_sim::event::NextEvent`): the
+    /// earliest future tick, as a 1-based offset from now, at which the
+    /// accelerator's observable state can change.
+    ///
+    /// The default is maximally conservative — `Some(1)` while busy
+    /// (single-step every cycle), `None` when idle (idle ticks must be
+    /// no-ops, which holds for every in-tree RAC). Accelerators with a
+    /// pure latency countdown (e.g. [`crate::block::BlockRac`]) override
+    /// this to expose the whole countdown window.
+    fn horizon(&self) -> Option<Cycle> {
+        if self.busy() {
+            Some(Cycle::new(1))
+        } else {
+            None
+        }
+    }
+
+    /// Bulk-applies `cycles` provably-pure ticks in O(1).
+    ///
+    /// Callers guarantee `cycles ≤ horizon() - 1` (or the RAC is idle).
+    /// The default is a no-op, correct for RACs whose idle `tick` does
+    /// not touch state; RACs with free-running counters (e.g.
+    /// [`crate::passthrough::PassthroughRac`]) must override it to keep
+    /// fast-forwarded state bit-identical to ticked state.
+    fn advance(&mut self, cycles: Cycle) {
+        let _ = cycles;
     }
 }
 
@@ -300,6 +329,23 @@ impl RacSocket {
             );
         }
         cycles
+    }
+
+    /// Fast-forward horizon of the socket: the wrapped accelerator's
+    /// horizon (the FIFOs are passive and never constrain it).
+    #[must_use]
+    pub fn horizon(&self) -> Option<Cycle> {
+        self.rac.horizon()
+    }
+
+    /// Bulk-applies `cycles` pure ticks: replays the per-tick
+    /// busy-cycle accounting (busyness is constant across a pure
+    /// window) and forwards to the accelerator.
+    pub fn advance(&mut self, cycles: Cycle) {
+        if self.rac.busy() {
+            self.busy_cycles += cycles.count();
+        }
+        self.rac.advance(cycles);
     }
 
     /// Resets the accelerator and clears every FIFO.

@@ -8,6 +8,8 @@
 //! that is currently "loaded", and charges a bitstream-transfer latency
 //! on every swap (triggered by the extension ISA's `rcfg` instruction).
 
+use ouessant_sim::Cycle;
+
 use crate::rac::{Rac, RacIo, ReconfigResponse};
 
 /// Default ICAP-style reconfiguration throughput used to derive a load
@@ -221,6 +223,33 @@ impl Rac for ReconfigurableSlot {
             return; // region is dark during the bitstream load
         }
         self.active_mut().tick(io);
+    }
+
+    fn horizon(&self) -> Option<Cycle> {
+        if self.loading_left > 0 {
+            // The bitstream load is a pure countdown; the region going
+            // live again is the event.
+            return Some(Cycle::new(self.loading_left));
+        }
+        if self.configs.is_empty() {
+            return None;
+        }
+        self.configs[self.active].rac.horizon()
+    }
+
+    fn advance(&mut self, cycles: Cycle) {
+        let n = cycles.count();
+        if n == 0 {
+            return;
+        }
+        if self.loading_left > 0 {
+            debug_assert!(n < self.loading_left, "advanced past the bitstream load");
+            self.loading_left -= n;
+            return; // region is dark during the load, like tick()
+        }
+        if let Some(c) = self.configs.get_mut(self.active) {
+            c.rac.advance(cycles);
+        }
     }
 
     fn reconfigure(&mut self, slot: u16) -> ReconfigResponse {

@@ -363,6 +363,37 @@ impl AxiBus {
     }
 }
 
+impl crate::event::NextEvent for AxiBus {
+    /// `Some(1)` while either channel is active or any master has a
+    /// transaction queued on either channel; `None` when both channels
+    /// are drained — idle ticks only advance `now` and the cycle
+    /// counter (pending completions are inert until a master collects
+    /// them).
+    fn horizon(&self) -> Option<Cycle> {
+        let busy = self.read.active.is_some()
+            || self.write.active.is_some()
+            || self.read.slots.iter().any(Option::is_some)
+            || self.write.slots.iter().any(Option::is_some);
+        if busy {
+            Some(Cycle::new(1))
+        } else {
+            None
+        }
+    }
+
+    fn advance(&mut self, cycles: Cycle) {
+        debug_assert!(
+            self.read.active.is_none()
+                && self.write.active.is_none()
+                && self.read.slots.iter().all(Option::is_none)
+                && self.write.slots.iter().all(Option::is_none),
+            "axi bus advanced across a non-idle window"
+        );
+        self.now += cycles;
+        self.stats.cycles += cycles.count();
+    }
+}
+
 impl SystemBus for AxiBus {
     fn register_master(&mut self, name: &str) -> MasterId {
         self.master_names.push(name.to_string());

@@ -573,14 +573,16 @@ impl Bus {
                 beats: req.beats,
             });
         }
-        self.trace.record(
-            self.now,
-            "bus",
-            format!(
-                "{} requests {} of {} beats at {:#010x}",
-                self.masters[master.0].name, req.kind, req.beats, req.addr
-            ),
-        );
+        if self.trace.is_enabled() {
+            self.trace.record(
+                self.now,
+                "bus",
+                format!(
+                    "{} requests {} of {} beats at {:#010x}",
+                    self.masters[master.0].name, req.kind, req.beats, req.addr
+                ),
+            );
+        }
         self.masters[master.0].outstanding = Some(OutstandingTxn {
             read_data: Vec::with_capacity(if req.kind == TxnKind::Read {
                 req.beats as usize
@@ -660,11 +662,13 @@ impl Bus {
                     self.stats.busy_cycles += 1;
                     self.masters[winner].stats.grants += 1;
                     self.last_grantee = winner;
-                    self.trace.record(
-                        self.now,
-                        "bus",
-                        format!("grant to {}", self.masters[winner].name),
-                    );
+                    if self.trace.is_enabled() {
+                        self.trace.record(
+                            self.now,
+                            "bus",
+                            format!("grant to {}", self.masters[winner].name),
+                        );
+                    }
                     self.active = Some(ActiveGrant {
                         master: winner,
                         phase: Phase::Granted,
@@ -732,11 +736,13 @@ impl Bus {
                         if let Some(fault) = fault {
                             let txn = port.outstanding.take().expect("present");
                             port.completion = Some(Err(BusError::Fault(fault)));
-                            self.trace.record(
-                                self.now,
-                                "bus",
-                                format!("fault at {:#010x}", txn.req.addr),
-                            );
+                            if self.trace.is_enabled() {
+                                self.trace.record(
+                                    self.now,
+                                    "bus",
+                                    format!("fault at {:#010x}", txn.req.addr),
+                                );
+                            }
                             return;
                         }
 
@@ -751,25 +757,29 @@ impl Bus {
                                 completed_at: self.now,
                                 cycles: self.now.count() - txn.issued_at.count(),
                             };
-                            self.trace.record(
-                                self.now,
-                                "bus",
-                                format!(
-                                    "{} completes {} ({} beats, {} cy)",
-                                    port.name, txn.req.kind, txn.req.beats, completion.cycles
-                                ),
-                            );
+                            if self.trace.is_enabled() {
+                                self.trace.record(
+                                    self.now,
+                                    "bus",
+                                    format!(
+                                        "{} completes {} ({} beats, {} cy)",
+                                        port.name, txn.req.kind, txn.req.beats, completion.cycles
+                                    ),
+                                );
+                            }
                             port.completion = Some(Ok(completion));
                             port.stats.txns_completed += 1;
                             // Bus returns to arbitration next cycle.
                         } else if sub_beats_left == 1 {
                             // Sub-burst boundary: release the bus and
                             // re-arbitrate (the transaction stays queued).
-                            self.trace.record(
-                                self.now,
-                                "bus",
-                                format!("{} sub-burst boundary", port.name),
-                            );
+                            if self.trace.is_enabled() {
+                                self.trace.record(
+                                    self.now,
+                                    "bus",
+                                    format!("{} sub-burst boundary", port.name),
+                                );
+                            }
                         } else {
                             let wait = self.slaves[self.masters[master_idx]
                                 .outstanding
@@ -833,6 +843,30 @@ impl Bus {
     #[must_use]
     pub fn stats(&self) -> BusStats {
         self.stats
+    }
+}
+
+impl crate::event::NextEvent for Bus {
+    /// `Some(1)` whenever any transfer machinery could move (a grant is
+    /// active or any master has a transaction queued) — the bus is a
+    /// cycle-accurate arbiter, so busy cycles are never skipped. `None`
+    /// when no master is requesting: idle ticks only advance `now` and
+    /// the cycle counter.
+    fn horizon(&self) -> Option<Cycle> {
+        if self.active.is_some() || self.masters.iter().any(|m| m.outstanding.is_some()) {
+            Some(Cycle::new(1))
+        } else {
+            None
+        }
+    }
+
+    fn advance(&mut self, cycles: Cycle) {
+        debug_assert!(
+            self.active.is_none() && self.masters.iter().all(|m| m.outstanding.is_none()),
+            "bus advanced across a non-idle window"
+        );
+        self.now += cycles;
+        self.stats.cycles += cycles.count();
     }
 }
 

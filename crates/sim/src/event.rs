@@ -1,0 +1,90 @@
+//! Event-horizon fast-forwarding: skip provably-idle cycles in O(1).
+//!
+//! A cycle-level simulation of the paper's platform spends most of its
+//! host time ticking FSMs that *cannot* change observable state for a
+//! statically-knowable number of cycles: a DMA burst with `wait_left`
+//! cycles before its next beat, a RAC counting down its Table I compute
+//! latency, a DPR slot streaming a bitstream through the ICAP, a farm
+//! worker parked in retry backoff or quarantine cooldown. [`NextEvent`]
+//! lets each component *declare* that window so a driver loop can leap
+//! over it instead of looping through it — the same lever fast ISA
+//! simulators pull to beat naive interpreters, applied to a SoC.
+//!
+//! # Contract
+//!
+//! For a component whose per-cycle behaviour is `tick()`:
+//!
+//! * [`NextEvent::horizon`] returns the earliest *future* cycle, as an
+//!   offset from now, at which the component's observable state can
+//!   change. `Some(k)` (with `k ≥ 1`) means the next `k - 1` ticks are
+//!   **pure**: they only update monotonic counters and countdowns in a
+//!   way that [`NextEvent::advance`] can replay in O(1), and the k-th
+//!   tick is the first that may do anything else (retire an FSM state,
+//!   move data, raise an interrupt, win arbitration …). `Some(1)` is
+//!   always a safe answer for a busy component — it simply forces the
+//!   driver to single-step. `None` means the component is quiescent: no
+//!   number of ticks will ever change its observable state (it still
+//!   tolerates [`NextEvent::advance`], which must replay idle ticks).
+//! * [`NextEvent::advance`]`(n)` bulk-applies `n` ticks under the
+//!   promise that all of them are pure, i.e. `n ≤ horizon() - 1` (or
+//!   the component is quiescent). After `advance(n)` the component must
+//!   be **bit-identical** to the state after `n` real `tick()` calls —
+//!   including cycle counters, utilization statistics, and countdowns —
+//!   so that a fast-forwarded run and a cycle-by-cycle run can never be
+//!   told apart.
+//!
+//! A driver combines horizons with [`min_horizon`] (treating `None` as
+//! +∞), leaps `min - 1` cycles with `advance`, then executes the event
+//! cycle with a real `tick()`. Components may *underestimate* their
+//! horizon (costing speed, never correctness); they must never
+//! overestimate it.
+
+use crate::clock::Cycle;
+
+/// A component that can report when its next observable event occurs
+/// and bulk-apply the idle cycles before it.
+///
+/// See the [module documentation](self) for the exact contract.
+pub trait NextEvent {
+    /// The earliest future cycle (as a 1-based offset from now) at
+    /// which this component's observable state can change.
+    ///
+    /// `Some(1)` = "may change on the very next tick" (single-step);
+    /// `Some(k)` = "ticks `1..k` are pure, tick `k` is the event";
+    /// `None` = quiescent (no future tick changes observable state).
+    fn horizon(&self) -> Option<Cycle>;
+
+    /// Bulk-applies `cycles` pure ticks in O(1).
+    ///
+    /// Callers must guarantee `cycles ≤ horizon() - 1` (quiescent
+    /// components accept any count). Afterwards the component is
+    /// bit-identical to having been `tick()`ed `cycles` times.
+    fn advance(&mut self, cycles: Cycle);
+}
+
+/// Combines two horizons, treating `None` as "never" (+∞).
+///
+/// The result is the earlier of the two events: the horizon a driver
+/// must respect when it owns both components.
+#[must_use]
+pub fn min_horizon(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_horizon_treats_none_as_infinity() {
+        let c = |n| Some(Cycle::new(n));
+        assert_eq!(min_horizon(c(5), c(3)), c(3));
+        assert_eq!(min_horizon(c(5), None), c(5));
+        assert_eq!(min_horizon(None, c(7)), c(7));
+        assert_eq!(min_horizon(None, None), None);
+    }
+}

@@ -18,7 +18,10 @@
 //!   channels (the paper's announced Zynq/AXI4 integration);
 //! * [`memory`] — an SRAM model with configurable first-access and
 //!   sequential-beat wait states;
-//! * [`trace`] — optional event tracing shared by all components.
+//! * [`trace`] — optional event tracing shared by all components;
+//! * [`event`] — the [`NextEvent`] fast-forward contract: components
+//!   declare their next observable event so driver loops can leap over
+//!   provably-idle cycles instead of ticking through them.
 //!
 //! Everything is deterministic and single-threaded: hardware concurrency
 //! is modeled by explicit `tick()` calls, one per clock cycle.
@@ -50,6 +53,7 @@
 pub mod axi;
 pub mod bus;
 pub mod clock;
+pub mod event;
 pub mod fifo;
 pub mod memory;
 pub mod rng;
@@ -59,6 +63,7 @@ pub mod vcd;
 pub use axi::{AxiBus, AxiConfig, SystemBus};
 pub use bus::{Bus, BusConfig, BusError, Completion, MasterId, MasterStats, TxnKind, TxnRequest};
 pub use clock::{Cycle, Frequency};
+pub use event::{min_horizon, NextEvent};
 pub use fifo::{FifoError, SyncFifo, WidthAdapter};
 pub use memory::{Sram, SramConfig};
 pub use rng::XorShift64;

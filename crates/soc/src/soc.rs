@@ -14,7 +14,7 @@ use ouessant::ocp::{Ocp, OcpConfig};
 use ouessant_rac::rac::Rac;
 use ouessant_sim::bus::{Addr, Bus, BusConfig, BusError, PortState, TxnRequest};
 use ouessant_sim::memory::{Sram, SramConfig};
-use ouessant_sim::{MasterId, SystemBus};
+use ouessant_sim::{MasterId, NextEvent, SystemBus};
 
 /// How the CPU learns that the OCP finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +48,12 @@ pub struct SocConfig {
     pub ocp: OcpConfig,
     /// Completion signalling.
     pub completion: CompletionMode,
+    /// Event-horizon fast-forwarding in [`Soc::start_and_wait`]: leap
+    /// over cycles during which neither the OCP nor the bus can change
+    /// observable state (RAC compute latency, `wait`/`rcfg`
+    /// countdowns). Bit-exact with cycle-by-cycle stepping; disable to
+    /// cross-check or to single-step under a debugger.
+    pub fast_forward: bool,
 }
 
 impl Default for SocConfig {
@@ -60,6 +66,7 @@ impl Default for SocConfig {
             ocp_base: 0x8000_0000,
             ocp: OcpConfig::default(),
             completion: CompletionMode::Interrupt,
+            fast_forward: true,
         }
     }
 }
@@ -296,6 +303,35 @@ impl Soc {
         };
 
         loop {
+            // Event-horizon fast-forward: leap over cycles that provably
+            // cannot change observable state, so the tick below always
+            // lands on (or before) the next event. Clamped to the
+            // timeout boundary and, in polling mode, to the next poll
+            // issue so both fire at the identical simulated cycle as
+            // cycle-by-cycle stepping.
+            if self.config.fast_forward {
+                let horizon = ouessant_sim::min_horizon(
+                    NextEvent::horizon(&self.ocp),
+                    NextEvent::horizon(&self.bus),
+                );
+                // A quiescent system (e.g. a program that halted without
+                // setting D) still times out: leap straight to budget.
+                let mut skip = horizon.map_or(u64::MAX, |h| u64::from(h).saturating_sub(1));
+                skip = skip.min(max_cycles.saturating_sub(run_cycles));
+                if let CompletionMode::Polling { .. } = self.config.completion {
+                    if !poll_outstanding {
+                        // The poll issues when the post-tick cycle count
+                        // reaches `next_poll`, so stop the leap one short.
+                        skip = skip.min(next_poll.saturating_sub(run_cycles).saturating_sub(1));
+                    }
+                }
+                if skip > 0 {
+                    let leap = ouessant_sim::Cycle::new(skip);
+                    NextEvent::advance(&mut self.ocp, leap);
+                    NextEvent::advance(&mut self.bus, leap);
+                    run_cycles += skip;
+                }
+            }
             self.tick_system();
             run_cycles += 1;
             if run_cycles > max_cycles {
@@ -459,6 +495,46 @@ mod tests {
             .unwrap();
         // 3 register writes, each a single-beat bus transaction.
         assert!(cycles >= 9, "three timed writes, got {cycles}");
+    }
+
+    #[test]
+    fn fast_forward_matches_cycle_stepping() {
+        for completion in [
+            CompletionMode::Interrupt,
+            CompletionMode::Polling { interval: 50 },
+        ] {
+            let run = |fast_forward: bool| {
+                let config = SocConfig {
+                    completion,
+                    fast_forward,
+                    ..SocConfig::default()
+                };
+                let mut soc = Soc::new(Box::new(PassthroughRac::new(0)), config);
+                let ram = soc.config().ram_base;
+                let program = assemble(
+                    "mvtc BANK1,0,DMA16,FIFO0\nexecs 16\nwait 200\nmvfc BANK2,0,DMA16,FIFO0\neop",
+                )
+                .unwrap();
+                soc.load_words(ram, &program.to_words()).unwrap();
+                let input: Vec<u32> = (0..16).map(|i| 0xBEEF_0000 + i).collect();
+                soc.load_words(ram + 0x1000, &input).unwrap();
+                soc.configure(
+                    &[(0, ram), (1, ram + 0x1000), (2, ram + 0x2000)],
+                    program.len() as u32,
+                )
+                .unwrap();
+                let report = soc.start_and_wait(100_000).unwrap();
+                let out = soc.read_words(ram + 0x2000, 16).unwrap();
+                let bus = soc.bus().stats();
+                (report, out, bus.cycles, bus.beats, bus.contention_cycles)
+            };
+            let fast = run(true);
+            let slow = run(false);
+            assert_eq!(
+                fast, slow,
+                "fast-forward must be bit-exact ({completion:?})"
+            );
+        }
     }
 
     #[test]
