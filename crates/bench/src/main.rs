@@ -24,7 +24,7 @@ use std::process::ExitCode;
 
 use ouessant_farm::{
     ChaosConfig, Farm, FarmConfig, FaultConfig, FaultPlan, FifoPolicy, JobKind, JobSpec,
-    RoundRobinPolicy,
+    LivenessConfig, RoundRobinPolicy,
 };
 use ouessant_isa::ProgramBuilder;
 use ouessant_sim::XorShift64;
@@ -71,6 +71,16 @@ fn mixed_workload(n: usize) -> Vec<JobSpec> {
         .collect()
 }
 
+/// The mixed workload with a deadline on every job — generous enough
+/// that a healthy pool meets it, tight enough that a hang-delayed job
+/// can blow it and exercise the deadline-drop path.
+fn deadline_workload(n: usize) -> Vec<JobSpec> {
+    mixed_workload(n)
+        .into_iter()
+        .map(|spec| spec.with_deadline(600_000))
+        .collect()
+}
+
 /// Large transforms: most of each job's lifetime is the RAC compute
 /// window between its two DMA bursts.
 fn deep_dft_workload(n: usize) -> Vec<JobSpec> {
@@ -106,11 +116,12 @@ fn duty_cycle_workload(n: usize) -> Vec<JobSpec> {
         .collect()
 }
 
-fn redundant_pool(fast_forward: bool, faults: FaultConfig) -> Farm {
+fn redundant_pool(fast_forward: bool, faults: FaultConfig, liveness: LivenessConfig) -> Farm {
     let mut farm = Farm::new(
         FarmConfig {
             queue_capacity: 512,
             faults,
+            liveness,
             fast_forward,
             ..FarmConfig::default()
         },
@@ -124,12 +135,34 @@ fn redundant_pool(fast_forward: bool, faults: FaultConfig) -> Farm {
 }
 
 fn calm_pool(fast_forward: bool) -> Farm {
-    redundant_pool(fast_forward, FaultConfig::default())
+    redundant_pool(
+        fast_forward,
+        FaultConfig::default(),
+        LivenessConfig::default(),
+    )
 }
 
 fn chaos_pool(fast_forward: bool) -> Farm {
-    let mut farm = redundant_pool(fast_forward, CHAOS_FAULTS);
+    let mut farm = redundant_pool(fast_forward, CHAOS_FAULTS, LivenessConfig::default());
     farm.arm_chaos(FaultPlan::new(ChaosConfig::new(0xFA11_FA57)));
+    farm
+}
+
+/// The liveness campaign's pool: watchdogs armed on every job, early
+/// deadline drop on, and the *stall* chaos seams (wedged handshakes,
+/// slowed RACs) injecting silent hangs instead of crashes — so the
+/// horizon merge is measured with watchdog and deadline events in it.
+fn hang_pool(fast_forward: bool) -> Farm {
+    let mut farm = redundant_pool(
+        fast_forward,
+        CHAOS_FAULTS,
+        LivenessConfig {
+            default_cycles_budget: Some(25_000),
+            early_drop: true,
+            ..LivenessConfig::default()
+        },
+    );
+    farm.arm_chaos(FaultPlan::new(ChaosConfig::hang(0x0CEA_4A46)));
     farm
 }
 
@@ -289,6 +322,12 @@ fn main() -> ExitCode {
             description: "duty-cycled custom microcode sleeping 60k cycles per job: timer-bound idle windows",
             specs: duty_cycle_workload(scale(48)),
             build: duty_cycle_pool,
+        },
+        Campaign {
+            name: "hang-liveness",
+            description: "the mixed campaign with per-job deadlines under the stall seams: watchdogs and deadline horizons in the merge",
+            specs: deadline_workload(scale(240)),
+            build: hang_pool,
         },
     ];
 

@@ -73,6 +73,18 @@ pub enum ExecError {
         /// Harness-supplied cause tag.
         cause: &'static str,
     },
+    /// The OCP watchdog expired: the controller made no observable
+    /// progress (no instruction retired, no word transferred) for a
+    /// whole cycle budget. Raised by the watchdog hardware, never by
+    /// the FSM itself.
+    Hang {
+        /// The cycle budget that was exhausted.
+        budget: u64,
+    },
+    /// The host cancelled the run through the OCP abort path. Like a
+    /// hardware abort line: the FSM stops where it stands and recovery
+    /// drains whatever the bus still owes.
+    Aborted,
 }
 
 impl fmt::Display for ExecError {
@@ -92,6 +104,11 @@ impl fmt::Display for ExecError {
                 "rcfg slot {slot} invalid ({available} configurations available)"
             ),
             ExecError::Injected { cause } => write!(f, "injected fault: {cause}"),
+            ExecError::Hang { budget } => write!(
+                f,
+                "watchdog expired: no progress for {budget} cycles (hung handshake or runaway loop)"
+            ),
+            ExecError::Aborted => write!(f, "run aborted by host"),
         }
     }
 }
@@ -238,6 +255,7 @@ pub struct Controller {
     counters: [u16; 4],
     offset_regs: [u16; 4],
     preloaded: bool,
+    wedged: bool,
     stats: ControllerStats,
     started_at: u64,
     cycle: u64,
@@ -259,6 +277,7 @@ impl Controller {
             counters: [0; 4],
             offset_regs: [0; 4],
             preloaded: false,
+            wedged: false,
             stats: ControllerStats::default(),
             started_at: 0,
             cycle: 0,
@@ -319,6 +338,30 @@ impl Controller {
 
     fn set_fault(&mut self, e: ExecError) {
         self.state = ControllerState::Faulted(e);
+        // A fault supersedes a wedge: the FSM is parked in `Faulted`
+        // either way and recovery clears both.
+        self.wedged = false;
+    }
+
+    /// Freezes the FSM mid-handshake without faulting it: the state
+    /// (and every countdown inside it) stops dead, exactly like a DMA
+    /// or FIFO handshake whose partner never answers. Only the
+    /// watchdog, an injected fault, or a host abort gets out. No-op
+    /// unless the controller is active.
+    ///
+    /// This is the chaos seam for *silent* hangs — the failure mode
+    /// [`Controller::inject_fault`] cannot model, because a crash is
+    /// host-visible through the state register while a wedge is not.
+    pub fn inject_wedge(&mut self) {
+        if self.is_active() {
+            self.wedged = true;
+        }
+    }
+
+    /// Whether the FSM is frozen by [`Controller::inject_wedge`].
+    #[must_use]
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
     }
 
     /// Forces the controller into [`ControllerState::Faulted`] with
@@ -353,6 +396,7 @@ impl Controller {
             return false;
         }
         self.state = ControllerState::Idle;
+        self.wedged = false;
         self.current = None;
         self.pending_transfer = None;
         self.pc = 0;
@@ -382,6 +426,11 @@ impl Controller {
     /// Table I compute latencies (the big idle windows) live.
     #[must_use]
     pub fn horizon_with(&self, socket: &RacSocket) -> Option<Cycle> {
+        if self.wedged {
+            // A wedged FSM never changes state on its own; only the
+            // watchdog (merged by the embedding OCP) bounds the window.
+            return None;
+        }
         match &self.state {
             // Ticks in RacWait only bump `rac_wait_cycles` until the
             // socket deasserts busy, so the socket's own horizon bounds
@@ -427,6 +476,12 @@ impl Controller {
         self.cycle += 1;
         if self.is_active() {
             self.stats.active_cycles += 1;
+        }
+        if self.wedged {
+            // Frozen handshake: the state (and any countdown inside
+            // it) holds; per-state statistics do not accrue because no
+            // work is happening.
+            return;
         }
         match std::mem::replace(&mut self.state, ControllerState::Idle) {
             ControllerState::Idle => {
@@ -783,6 +838,9 @@ impl NextEvent for Controller {
     /// conservatively `Some(1)` here; [`Controller::horizon_with`]
     /// refines it with the socket's horizon.
     fn horizon(&self) -> Option<Cycle> {
+        if self.wedged {
+            return None;
+        }
         match &self.state {
             ControllerState::Idle | ControllerState::Faulted(_) => None,
             ControllerState::WaitCycles { left } => Some(Cycle::new(u64::from(*left).max(1))),
@@ -799,6 +857,11 @@ impl NextEvent for Controller {
         self.cycle += n;
         if self.is_active() {
             self.stats.active_cycles += n;
+        }
+        if self.wedged {
+            // Frozen: mirror the wedged `step_fsm` early return — only
+            // the cycle and active counters move.
+            return;
         }
         match &mut self.state {
             // Idle / faulted ticks only advance the cycle counter (a

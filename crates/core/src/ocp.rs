@@ -56,6 +56,24 @@ pub struct OcpCompletion {
 /// Callback invoked from [`Ocp::tick`] when a run completes.
 pub type CompletionCallback = Box<dyn FnMut(&OcpCompletion)>;
 
+/// The per-OCP hang watchdog.
+///
+/// Armed by the host with a cycle budget; pulsed by *observable
+/// progress* — a retired instruction or a completed transfer word
+/// (the DMA-beat proxy the controller exposes). When the budget runs
+/// out with no progress the watchdog bites:
+/// [`ExecError::Hang`] is raised exactly as a hardware watchdog would
+/// pull the fault line, and the normal recovery path takes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Watchdog {
+    /// Cycles of no progress tolerated before the bite.
+    budget: u64,
+    /// Cycles left until the bite (reloaded to `budget` on progress).
+    remaining: u64,
+    /// Progress signature: `(instructions_retired, words_transferred)`.
+    progress: (u64, u64),
+}
+
 /// An Ouessant coprocessor instance.
 ///
 /// See the [crate documentation](crate) for a full integration example.
@@ -70,6 +88,7 @@ pub struct Ocp {
     done_seen: bool,
     pending_event: Option<OcpCompletion>,
     on_complete: Option<CompletionCallback>,
+    watchdog: Option<Watchdog>,
 }
 
 impl std::fmt::Debug for Ocp {
@@ -115,6 +134,7 @@ impl Ocp {
             done_seen: false,
             pending_event: None,
             on_complete: None,
+            watchdog: None,
         }
     }
 
@@ -181,6 +201,90 @@ impl Ocp {
         self.controller.inject_fault(error);
     }
 
+    /// Freezes the controller FSM mid-handshake (see
+    /// [`Controller::inject_wedge`]): the silent-hang chaos seam. Only
+    /// the watchdog or a host [`Ocp::abort`] gets the worker back.
+    pub fn inject_wedge(&mut self) {
+        self.controller.inject_wedge();
+    }
+
+    /// Whether the controller FSM is frozen by [`Ocp::inject_wedge`].
+    #[must_use]
+    pub fn is_wedged(&self) -> bool {
+        self.controller.is_wedged()
+    }
+
+    /// Stalls the RAC for `cycles` extra cycles (see
+    /// [`RacSocket::inject_stall`]): the slow-compute chaos seam. The
+    /// accelerator stays busy and frozen for the stall, so `exec`
+    /// latency stretches by exactly `cycles`.
+    pub fn inject_rac_stall(&mut self, cycles: u64) {
+        self.socket.inject_stall(cycles);
+    }
+
+    /// Arms the hang watchdog with `budget` cycles: if the controller
+    /// stays active for `budget` consecutive cycles without retiring an
+    /// instruction or completing a transfer word, the run faults with
+    /// [`ExecError::Hang`] and the normal recovery path applies.
+    ///
+    /// Re-arming reloads the budget. The budget must exceed the
+    /// longest *legitimate* progress-free window of the microcode —
+    /// `wait N` and a full RAC compute both count as no-progress, so a
+    /// budget below Table I's compute latencies bites healthy runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn arm_watchdog(&mut self, budget: u64) {
+        assert!(budget > 0, "watchdog budget must be nonzero");
+        let stats = self.controller.stats();
+        self.watchdog = Some(Watchdog {
+            budget,
+            remaining: budget,
+            progress: (stats.instructions_retired, stats.words_transferred),
+        });
+    }
+
+    /// Disarms the hang watchdog.
+    pub fn disarm_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
+    /// Cycles left before the armed watchdog bites (`None` when
+    /// disarmed).
+    #[must_use]
+    pub fn watchdog_remaining(&self) -> Option<u64> {
+        self.watchdog.map(|w| w.remaining)
+    }
+
+    /// Host-side cancel of a running job: disarms the watchdog, faults
+    /// an active controller with [`ExecError::Aborted`], and drives the
+    /// [`Ocp::try_recover`] machinery (drain in-flight DMA, reset the
+    /// controller, release the RAC and FIFOs).
+    ///
+    /// Returns `true` once the OCP is back to a clean idle state; an
+    /// already-idle unfaulted OCP aborts trivially. Returns `false`
+    /// while a DMA burst is still in flight — keep ticking the bus and
+    /// retry (or re-call `try_recover`), exactly as after any fault.
+    pub fn abort(&mut self, bus: &mut dyn SystemBus) -> bool {
+        self.watchdog = None;
+        if self.controller.is_active() {
+            self.controller.inject_fault(ExecError::Aborted);
+        }
+        if self.controller.fault().is_none() {
+            // Idle and clean (e.g. the microcode `halt`ed without
+            // raising D): nothing to cancel, but scrub to the same
+            // power-on contract a recovery gives — FIFOs empty, RAC
+            // (and a DPR slot's configuration) reset, no stale event
+            // or interrupt.
+            self.socket.reset();
+            self.pending_event = None;
+            self.irq.clear();
+            return true;
+        }
+        self.try_recover(bus)
+    }
+
     /// Attempts to recover a faulted coprocessor to a clean idle state:
     /// the controller FSM is reset ([`Controller::try_reset`]), the RAC
     /// and both FIFOs are returned to power-on state (stale words from
@@ -197,6 +301,7 @@ impl Ocp {
         self.socket.reset();
         self.pending_event = None;
         self.irq.clear();
+        self.watchdog = None;
         true
     }
 
@@ -208,6 +313,27 @@ impl Ocp {
         self.socket.tick();
         self.controller
             .tick(bus, &self.regs, &mut self.socket, &self.irq);
+
+        // Watchdog: pulse on progress, count down otherwise, bite at
+        // zero. Only an *active* controller is watched — an idle or
+        // already-faulted one holds the countdown.
+        if let Some(wd) = &mut self.watchdog {
+            if self.controller.is_active() {
+                let stats = self.controller.stats();
+                let progress = (stats.instructions_retired, stats.words_transferred);
+                if progress == wd.progress {
+                    wd.remaining -= 1;
+                    if wd.remaining == 0 {
+                        let budget = wd.budget;
+                        self.watchdog = None;
+                        self.controller.inject_fault(ExecError::Hang { budget });
+                    }
+                } else {
+                    wd.progress = progress;
+                    wd.remaining = wd.budget;
+                }
+            }
+        }
 
         // Completion edge: the D bit rose this cycle (a start clears D,
         // so back-to-back runs produce one event each).
@@ -269,15 +395,28 @@ impl ouessant_sim::NextEvent for Ocp {
     ///   `wrac` parked on an idle RAC, or `sync` stuck on a FIFO the
     ///   RAC will never drain) also single-steps — the OCP never
     ///   declares a busy worker quiescent, it just stops predicting.
+    ///
+    /// An armed watchdog over an active controller bounds the window
+    /// by its remaining budget, so the bite always lands on a real
+    /// tick — identical cycle in single-step and fast-forward modes. A
+    /// *wedged* controller is the one active state exempt from the
+    /// single-step safety net: it provably cannot transition by
+    /// itself, so the watchdog budget (or, unarmed, quiescence) is the
+    /// honest horizon and a hang window can be leapt in one go.
     fn horizon(&self) -> Option<Cycle> {
         if self.pending_event.is_some() || self.regs.start_pending() {
             return Some(Cycle::new(1));
         }
-        let h = ouessant_sim::min_horizon(
+        let mut h = ouessant_sim::min_horizon(
             self.controller.horizon_with(&self.socket),
             self.socket.horizon(),
         );
-        if h.is_none() && self.controller.is_active() {
+        if let Some(wd) = &self.watchdog {
+            if self.controller.is_active() {
+                h = ouessant_sim::min_horizon(h, Some(Cycle::new(wd.remaining.max(1))));
+            }
+        }
+        if h.is_none() && self.controller.is_active() && !self.controller.is_wedged() {
             return Some(Cycle::new(1));
         }
         h
@@ -292,6 +431,19 @@ impl ouessant_sim::NextEvent for Ocp {
         self.total_cycles += cycles.count();
         self.socket.advance(cycles);
         self.controller.advance(cycles);
+        // Watchdog countdown: a pure window by definition has no
+        // progress pulses, so every skipped tick decrements — exactly
+        // what `tick` would have done. The horizon clamps windows to
+        // `remaining - 1`, so the bite itself always happens in `tick`.
+        if let Some(wd) = &mut self.watchdog {
+            if self.controller.is_active() {
+                debug_assert!(
+                    cycles.count() < wd.remaining,
+                    "advanced past the watchdog bite"
+                );
+                wd.remaining -= cycles.count();
+            }
+        }
     }
 }
 

@@ -29,6 +29,21 @@
 //! busy and not already faulted — faulting an idle worker would test
 //! nothing the job path cares about.
 //!
+//! Two further seams *stall* instead of crashing, exercising the
+//! liveness layer (watchdogs, deadlines) rather than the crash
+//! circuit breaker — both disarmed by default so existing seeded
+//! campaigns replay unchanged:
+//!
+//! * **wedge** — the controller FSM freezes mid-handshake
+//!   ([`Ocp::inject_wedge`](ouessant::Ocp::inject_wedge)): busy
+//!   forever, no fault raised. Only the watchdog gets the worker back;
+//! * **slow RAC** — the accelerator freezes for a stretch while
+//!   holding `busy`
+//!   ([`Ocp::inject_rac_stall`](ouessant::Ocp::inject_rac_stall)),
+//!   multiplying compute latency; repeated hits compound. A stall
+//!   longer than the watchdog budget becomes a hang; a shorter one
+//!   just makes the job late (the deadline path).
+//!
 //! [`AllocError::OutOfMemory`]: ouessant_soc::alloc::AllocError::OutOfMemory
 
 use ouessant::ExecError;
@@ -59,10 +74,20 @@ pub struct ChaosConfig {
     pub alloc_one_in: u32,
     /// How long an allocator squat holds its lease, in cycles.
     pub alloc_hold: u64,
+    /// Odds of wedging a handshake state (FIFO/DMA/RAC wait) per
+    /// busy-worker cycle. Disarmed (0) by default: wedges are silent
+    /// hangs and need a watchdog to be survivable.
+    pub wedge_one_in: u32,
+    /// Odds of freezing the RAC per `RacWait` cycle.
+    pub slow_one_in: u32,
+    /// Cycles each slow-RAC hit freezes the accelerator for.
+    pub slow_stall: u64,
 }
 
 impl ChaosConfig {
-    /// A campaign with all four seams armed at moderate rates.
+    /// A campaign with the four crash seams armed at moderate rates
+    /// (stall seams disarmed — arm them via the fields or use
+    /// [`ChaosConfig::hang`]).
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self {
@@ -72,6 +97,27 @@ impl ChaosConfig {
             bitstream_one_in: 3_000,
             alloc_one_in: 10_000,
             alloc_hold: 3_000,
+            wedge_one_in: 0,
+            slow_one_in: 0,
+            slow_stall: 0,
+        }
+    }
+
+    /// A liveness campaign: only the stall seams are armed, so every
+    /// injected failure is a silent hang or a latency fault — the
+    /// watchdog and deadline paths do all the work.
+    #[must_use]
+    pub fn hang(seed: u64) -> Self {
+        Self {
+            seed,
+            controller_one_in: 0,
+            bus_one_in: 0,
+            bitstream_one_in: 0,
+            alloc_one_in: 0,
+            alloc_hold: 0,
+            wedge_one_in: 60_000,
+            slow_one_in: 15_000,
+            slow_stall: 30_000,
         }
     }
 }
@@ -87,11 +133,16 @@ pub struct ChaosStats {
     pub bitstream_faults: u64,
     /// Shared-memory squats taken.
     pub alloc_squats: u64,
+    /// Controller FSMs wedged (silent hangs).
+    pub wedges: u64,
+    /// RAC stalls injected (latency faults).
+    pub rac_stalls: u64,
 }
 
 impl ChaosStats {
-    /// Total worker faults injected (squats stress admission, not
-    /// workers).
+    /// Total *crash* faults injected on workers (squats stress
+    /// admission, not workers; wedges and stalls are silent and only
+    /// become faults if a watchdog bites).
     #[must_use]
     pub fn worker_faults(&self) -> u64 {
         self.controller_faults + self.bus_faults + self.bitstream_faults
@@ -123,6 +174,10 @@ pub(crate) enum Injection {
     Bus { worker: usize },
     /// Upset `worker`'s controller mid-job.
     Controller { worker: usize },
+    /// Freeze `worker`'s controller FSM mid-handshake (silent hang).
+    Wedge { worker: usize },
+    /// Hold `worker`'s RAC busy for `stall` extra cycles.
+    SlowRac { worker: usize, stall: u64 },
 }
 
 /// A seeded, armed chaos campaign. Build one from a [`ChaosConfig`]
@@ -195,10 +250,11 @@ impl FaultPlan {
         out: &mut Vec<Injection>,
     ) {
         for (wi, worker) in workers.iter().enumerate() {
-            if worker.active.is_none() || worker.ocp.fault().is_some() {
+            if worker.active.is_none() || worker.ocp.fault().is_some() || worker.ocp.is_wedged() {
                 continue;
             }
-            match worker.ocp.controller().state() {
+            let state = worker.ocp.controller().state();
+            match state {
                 ControllerState::ReconfigWait { .. } => {
                     if self.roll(self.config.bitstream_one_in) {
                         out.push(Injection::Bitstream {
@@ -222,6 +278,30 @@ impl FaultPlan {
                         self.stats.controller_faults += 1;
                     }
                 }
+            }
+            // Stall dice roll after the crash dice, in a fixed order, so
+            // the RNG stream stays a pure function of the (window-
+            // constant) state category. The wedge seam targets handshake
+            // states — places a real FSM can deadlock on a peer that
+            // never answers.
+            if matches!(
+                state,
+                ControllerState::LoadProgram
+                    | ControllerState::TransferFifoWait
+                    | ControllerState::TransferBusWait
+                    | ControllerState::SyncWait
+                    | ControllerState::RacWait
+            ) && self.roll(self.config.wedge_one_in)
+            {
+                out.push(Injection::Wedge { worker: wi });
+                self.stats.wedges += 1;
+            }
+            if matches!(state, ControllerState::RacWait) && self.roll(self.config.slow_one_in) {
+                out.push(Injection::SlowRac {
+                    worker: wi,
+                    stall: self.config.slow_stall,
+                });
+                self.stats.rac_stalls += 1;
             }
         }
 
@@ -268,6 +348,12 @@ impl FaultPlan {
                     workers[worker].ocp.inject_fault(ExecError::Injected {
                         cause: "chaos: controller upset",
                     });
+                }
+                Injection::Wedge { worker } => {
+                    workers[worker].ocp.inject_wedge();
+                }
+                Injection::SlowRac { worker, stall } => {
+                    workers[worker].ocp.inject_rac_stall(stall);
                 }
             }
         }

@@ -11,12 +11,38 @@
 //! *different* worker where one exists. Only when the retry budget is
 //! exhausted, or no live worker can serve the kind, does a job end as
 //! [`JobOutcome::FailedPermanent`] — and it still gets a record, so
-//! the books always balance: `admitted = completed + failed`.
+//! the books always balance:
+//! `admitted = completed + failed + deadline-missed + shed`.
 //!
 //! Legacy abort-on-fault behaviour survives behind
 //! [`FaultConfig::fail_fast`] for tests that want a fault loud.
 //!
+//! ## Liveness
+//!
+//! Crashes are loud; hangs are silent. The liveness layer
+//! ([`LivenessConfig`]) covers the quiet failure modes:
+//!
+//! * **watchdogs** — every launched job arms a no-progress watchdog on
+//!   its worker ([`JobSpec::cycles_budget`], or
+//!   [`LivenessConfig::default_cycles_budget`]); a wedged handshake or
+//!   runaway loop surfaces as [`WorkerFaultKind::Hang`] and rides the
+//!   same retry/quarantine machinery as a crash;
+//! * **deadlines** — with [`LivenessConfig::early_drop`] on, queued
+//!   and parked jobs that can no longer meet their deadline are
+//!   dropped before they waste a worker, and in-flight jobs past
+//!   their deadline are host-aborted ([`JobOutcome::DeadlineMissed`]);
+//! * **shedding** — past [`LivenessConfig::shed_watermark`] the queue
+//!   refuses below-floor work ([`SubmitError::ShedOverload`]) and a
+//!   full queue lets priority work evict the youngest low-class job
+//!   ([`JobOutcome::ShedOverload`]).
+//!
+//! Watchdog expiries and deadline events register as event horizons,
+//! so fast-forward leaps stay bit-exact with single-stepping.
+//!
 //! [`JobOutcome::FailedPermanent`]: crate::job::JobOutcome::FailedPermanent
+//! [`JobOutcome::DeadlineMissed`]: crate::job::JobOutcome::DeadlineMissed
+//! [`JobOutcome::ShedOverload`]: crate::job::JobOutcome::ShedOverload
+//! [`JobSpec::cycles_budget`]: crate::job::JobSpec::cycles_budget
 
 use std::error::Error;
 use std::fmt;
@@ -33,7 +59,9 @@ use crate::job::{FailReason, JobId, JobKind, JobOutcome, JobRecord, JobSpec};
 use crate::policy::{SchedPolicy, WorkerView};
 use crate::queue::{PendingJob, SubmitError, SubmitQueue};
 use crate::stats::{FarmReport, WorkerReport};
-use crate::worker::{adapt_custom_program, build_program, JobRegions, Worker, WorkerFaultKind};
+use crate::worker::{
+    adapt_custom_program, build_program, JobRegions, Worker, WorkerFaultKind, WorkerHealth,
+};
 
 /// Fault-handling policy: retry budget, circuit breaker, quarantine.
 #[derive(Debug, Clone)]
@@ -74,6 +102,34 @@ impl Default for FaultConfig {
     }
 }
 
+/// Liveness policy: hang watchdogs, deadline enforcement, overload
+/// shedding. The default disables all three, preserving the legacy
+/// behaviour bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct LivenessConfig {
+    /// Watchdog budget armed on every launched job that does not carry
+    /// its own [`JobSpec::cycles_budget`](crate::job::JobSpec). `None`
+    /// leaves such jobs unwatched. The budget must absorb the longest
+    /// legitimate progress-free window a job can sit in — a worst-case
+    /// DPR bitstream load plus the accelerator's compute latency —
+    /// or healthy jobs will be shot.
+    pub default_cycles_budget: Option<u64>,
+    /// Deadline enforcement: each tick, drop queued/parked jobs that
+    /// can no longer meet their deadline (submission deadline minus
+    /// the kind's core-latency estimate has passed) and host-abort
+    /// in-flight jobs already past it. Off by default — without it,
+    /// deadlines are bookkeeping only (late completions are counted,
+    /// never interfered with).
+    pub early_drop: bool,
+    /// Queue depth at which admission starts shedding below-floor
+    /// work with [`SubmitError::ShedOverload`]; also enables
+    /// full-queue priority eviction. `None` disables shedding (a full
+    /// queue bounces everything with `QueueFull`).
+    pub shed_watermark: Option<usize>,
+    /// Minimum priority still admitted past the watermark.
+    pub shed_floor: u8,
+}
+
 /// Static farm parameters.
 #[derive(Debug, Clone)]
 pub struct FarmConfig {
@@ -93,6 +149,8 @@ pub struct FarmConfig {
     pub sram: SramConfig,
     /// Fault-handling policy.
     pub faults: FaultConfig,
+    /// Liveness policy (watchdogs, deadlines, shedding).
+    pub liveness: LivenessConfig,
     /// Event-horizon fast-forward: [`Farm::run_until_idle`] skips
     /// provably-idle windows in O(1) instead of ticking through them.
     /// Bit-exact with single-stepping (same records, reports, fault
@@ -111,9 +169,26 @@ impl Default for FarmConfig {
             bus: BusConfig::default(),
             sram: SramConfig::default(),
             faults: FaultConfig::default(),
+            liveness: LivenessConfig::default(),
             fast_forward: true,
         }
     }
+}
+
+/// One worker's health at the moment a farm stalled — the per-worker
+/// payload of [`FarmError::Stalled`], so the error itself says whether
+/// the pool ran out of fuel or out of workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// The worker's display name.
+    pub name: String,
+    /// Circuit-breaker health.
+    pub health: WorkerHealth,
+    /// Whether a job was on the worker.
+    pub busy: bool,
+    /// Whether the controller FSM was wedged (silent hang with no
+    /// watchdog armed — the job will never finish on its own).
+    pub wedged: bool,
 }
 
 /// A fatal pool condition.
@@ -127,6 +202,12 @@ pub enum FarmError {
         queued: usize,
         /// Jobs still on workers.
         in_flight: usize,
+        /// Per-worker health at the stall, distinguishing an
+        /// out-of-fuel stall (live workers, just not enough cycles)
+        /// from a dead pool (every worker quarantined or wedged).
+        workers: Vec<WorkerSnapshot>,
+        /// The parked job that has waited longest, as `(id, ready_at)`.
+        oldest_parked: Option<(JobId, u64)>,
     },
     /// A worker's controller faulted while [`FaultConfig::fail_fast`]
     /// was set (with fault tolerance on — the default — worker faults
@@ -146,10 +227,42 @@ impl fmt::Display for FarmError {
                 cycles,
                 queued,
                 in_flight,
-            } => write!(
-                f,
-                "farm stalled after {cycles} cycles ({queued} queued, {in_flight} in flight)"
-            ),
+                workers,
+                oldest_parked,
+            } => {
+                let dead = !workers.is_empty()
+                    && workers
+                        .iter()
+                        .all(|w| w.health == WorkerHealth::Quarantined || w.wedged);
+                write!(
+                    f,
+                    "farm stalled after {cycles} cycles ({queued} queued, {in_flight} in \
+                     flight): {}",
+                    if dead {
+                        "pool dead — every worker quarantined or wedged"
+                    } else {
+                        "out of fuel with live workers"
+                    }
+                )?;
+                for w in workers {
+                    write!(
+                        f,
+                        "; {} {}{}{}",
+                        w.name,
+                        w.health,
+                        if w.busy { " busy" } else { "" },
+                        if w.wedged { " WEDGED" } else { "" }
+                    )?;
+                }
+                if let Some((id, ready_at)) = oldest_parked {
+                    write!(
+                        f,
+                        "; oldest parked job #{} retries at cycle {ready_at}",
+                        id.0
+                    )?;
+                }
+                Ok(())
+            }
             FarmError::WorkerFault { worker, fault } => {
                 write!(f, "worker {worker} faulted: {fault}")
             }
@@ -209,6 +322,15 @@ pub struct Farm {
     worker_faults: u64,
     retries: u64,
     quarantines: u64,
+    /// Watchdog firings (no-progress budgets exhausted).
+    hangs_detected: u64,
+    /// Workers yanked back from a hung or overdue job (watchdog and
+    /// host-side deadline aborts).
+    aborts: u64,
+    /// Jobs evicted from a full queue by higher-priority admissions.
+    jobs_shed: u64,
+    /// Queued/parked/in-flight jobs dropped for hopeless deadlines.
+    deadline_drops: u64,
     /// Set by a fault under `fail_fast`; `run_until_idle` converts it
     /// into an `Err` at the end of the tick.
     fault_abort: Option<(usize, WorkerFaultKind)>,
@@ -245,7 +367,8 @@ impl Farm {
             Sram::with_words(config.shared_words as usize, config.sram),
         );
         let alloc = BankAllocator::new(config.shared_base, config.shared_words);
-        let queue = SubmitQueue::new(config.queue_capacity);
+        let mut queue = SubmitQueue::new(config.queue_capacity);
+        queue.set_overload_policy(config.liveness.shed_watermark, config.liveness.shed_floor);
         Self {
             bus,
             workers: Vec::new(),
@@ -261,6 +384,10 @@ impl Farm {
             worker_faults: 0,
             retries: 0,
             quarantines: 0,
+            hangs_detected: 0,
+            aborts: 0,
+            jobs_shed: 0,
+            deadline_drops: 0,
             fault_abort: None,
             skipped_cycles: 0,
             wall: std::time::Duration::ZERO,
@@ -322,6 +449,28 @@ impl Farm {
         self.workers[worker].ocp.inject_fault(error);
     }
 
+    /// Freezes worker `worker`'s controller FSM mid-handshake, exactly
+    /// as the chaos wedge seam would — the deterministic single-shot
+    /// hang for tests that need one at one specific moment. Only a
+    /// watchdog or a deadline abort gets the worker back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn inject_worker_wedge(&mut self, worker: usize) {
+        self.workers[worker].ocp.inject_wedge();
+    }
+
+    /// Holds worker `worker`'s RAC busy for `cycles` extra cycles,
+    /// exactly as the chaos slow-RAC seam would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn inject_worker_rac_stall(&mut self, worker: usize, cycles: u64) {
+        self.workers[worker].ocp.inject_rac_stall(cycles);
+    }
+
     /// The workers in the pool.
     #[must_use]
     pub fn workers(&self) -> &[Worker] {
@@ -376,6 +525,32 @@ impl Farm {
         self.alloc_stalls
     }
 
+    /// Watchdog firings so far (no-progress budgets exhausted).
+    #[must_use]
+    pub fn hangs_detected(&self) -> u64 {
+        self.hangs_detected
+    }
+
+    /// Workers yanked back from a hung or overdue job so far (watchdog
+    /// plus host-side deadline aborts).
+    #[must_use]
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Jobs evicted from a full queue by higher-priority admissions so
+    /// far.
+    #[must_use]
+    pub fn jobs_shed(&self) -> u64 {
+        self.jobs_shed
+    }
+
+    /// Jobs dropped or aborted for hopeless deadlines so far.
+    #[must_use]
+    pub fn deadline_drops(&self) -> u64 {
+        self.deadline_drops
+    }
+
     /// Words of shared job memory currently leased (0 at idle — the
     /// invariant the chaos tests pin).
     #[must_use]
@@ -396,9 +571,16 @@ impl Farm {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::QueueFull`] is the backpressure signal; the other
-    /// variants reject malformed or unserviceable jobs at admission
-    /// (see [`SubmitError`]).
+    /// [`SubmitError::QueueFull`] is the backpressure signal — or,
+    /// with an overload policy configured
+    /// ([`LivenessConfig::shed_watermark`]),
+    /// [`SubmitError::ShedOverload`] once the queue is past its
+    /// watermark and the job is below the priority floor. A
+    /// high-priority submission into a *full* queue may instead evict
+    /// the youngest lowest-class queued job, which is recorded as
+    /// [`JobOutcome::ShedOverload`](crate::job::JobOutcome::ShedOverload).
+    /// The other variants reject malformed or unserviceable jobs at
+    /// admission (see [`SubmitError`]).
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SubmitError> {
         if let Some(program) = &spec.microcode {
             // One instruction of headroom: serving the job on a DPR
@@ -432,10 +614,30 @@ impl Farm {
         let serviceable = self.kind_serviceable(spec.kind);
         let payload_limit = u32::try_from(self.config.fifo_depth).unwrap_or(u32::MAX);
         let id = JobId(self.next_id);
+        let now = self.now();
         let admitted = self
             .queue
-            .submit(id, spec, self.now(), payload_limit, serviceable)?;
+            .submit(id, spec, now, payload_limit, serviceable)?;
         self.next_id += 1;
+        // A priority admission into a full queue may have evicted a
+        // low-class job: record the eviction so the books still
+        // balance (`admitted = completed + failed + missed + shed`).
+        for job in self.queue.take_shed() {
+            self.jobs_shed += 1;
+            self.completed.push(JobRecord {
+                id: job.id,
+                kind: job.kind,
+                worker: 0,
+                outcome: JobOutcome::ShedOverload,
+                submitted_at: job.submitted_at,
+                started_at: now,
+                completed_at: now,
+                swapped: false,
+                contention_cycles: 0,
+                deadline: job.deadline,
+                output: Vec::new(),
+            });
+        }
         Ok(admitted)
     }
 
@@ -456,12 +658,14 @@ impl Farm {
             .any(|(i, w)| i != except && !w.is_permanently_dead() && w.caps().contains(&kind))
     }
 
-    /// Advances the pool one clock cycle: unpark due retries, dispatch,
-    /// every worker, the chaos plan (if armed), the bus, completion
-    /// collection, fault handling, health transitions.
+    /// Advances the pool one clock cycle: unpark due retries, sweep
+    /// liveness (deadline drops and aborts), dispatch, every worker,
+    /// the chaos plan (if armed), the bus, completion collection,
+    /// fault handling, health transitions.
     pub fn tick(&mut self) {
         let now = self.now();
         self.unpark_ready(now);
+        self.sweep_liveness(now);
         self.dispatch();
         for w in &mut self.workers {
             w.tick(&mut self.bus);
@@ -528,11 +732,7 @@ impl Farm {
                 if let Some(plan) = self.chaos.as_mut() {
                     plan.release_squat(&mut self.alloc);
                 }
-                return Err(FarmError::Stalled {
-                    cycles: self.now() - start,
-                    queued: self.queue.len() + self.parked.len(),
-                    in_flight: self.in_flight(),
-                });
+                return Err(self.stalled_error(self.now() - start));
             }
             if self.config.fast_forward {
                 // A leap of N cycles consumes N fuel, so `Stalled`
@@ -555,8 +755,13 @@ impl Farm {
     ///
     /// * dispatch — pending work plus a dispatchable worker means the
     ///   very next tick may launch a job (or charge an alloc stall);
-    /// * every worker's OCP and health-timer horizon;
+    /// * every worker's OCP and health-timer horizon (an armed
+    ///   watchdog's expiry rides the OCP horizon, so a hang inside a
+    ///   skipped window fires at the identical cycle in both modes);
     /// * every parked retry's unpark tick;
+    /// * with [`LivenessConfig::early_drop`] on, every queued/parked
+    ///   deadline's drop tick and every in-flight deadline's abort
+    ///   tick;
     /// * an armed chaos squat's release tick (bounds the leap so
     ///   `run_until_idle` observes the release at the exact cycle
     ///   single-stepping would, and terminates then);
@@ -588,6 +793,28 @@ impl Farm {
             // Unpark happens in the tick whose pre-tick cycle first
             // satisfies `ready_at <= now`.
             merge(Some((p.ready_at + 1).saturating_sub(now)));
+        }
+        if self.config.liveness.early_drop {
+            // Deadline events: a queued/parked drop fires in the tick
+            // whose pre-tick cycle first satisfies `now > threshold`
+            // (i.e. at `threshold + 1`); an in-flight abort likewise at
+            // `deadline + 1`.
+            for job in self
+                .queue
+                .pending()
+                .iter()
+                .chain(self.parked.iter().map(|p| &p.job))
+            {
+                if let Some(d) = job.deadline {
+                    let threshold = d.saturating_sub(job.kind.core_latency_estimate());
+                    merge(Some((threshold + 2).saturating_sub(now)));
+                }
+            }
+            for w in &self.workers {
+                if let Some(d) = w.active.as_ref().and_then(|a| a.job.deadline) {
+                    merge(Some((d + 2).saturating_sub(now)));
+                }
+            }
         }
         if let Some(release_at) = self.chaos.as_ref().and_then(FaultPlan::squat_release_at) {
             merge(Some((release_at + 1).saturating_sub(now)));
@@ -702,6 +929,10 @@ impl Farm {
                 retries: self.retries,
                 quarantines: self.quarantines,
             },
+            crate::stats::LivenessTally {
+                hangs_detected: self.hangs_detected,
+                aborts: self.aborts,
+            },
             crate::stats::PerfTally {
                 total_cycles,
                 skipped_cycles: self.skipped_cycles,
@@ -782,7 +1013,12 @@ impl Farm {
                 self.alloc_stalls += 1;
                 break;
             };
-            let job = self.queue.take(pick.queue_index);
+            let mut job = self.queue.take(pick.queue_index);
+            // Resolve the effective watchdog budget (per-job override,
+            // else the pool default) before the job reaches the worker.
+            job.cycles_budget = job
+                .cycles_budget
+                .or(self.config.liveness.default_cycles_budget);
             self.workers[pick.worker_index].launch(
                 &mut self.bus,
                 now,
@@ -821,6 +1057,32 @@ impl Farm {
             input,
             output,
         })
+    }
+
+    /// The enriched out-of-fuel error: per-worker health plus the
+    /// longest-parked job, so the caller can tell "needed more fuel"
+    /// from "the pool is dead".
+    fn stalled_error(&self, cycles: u64) -> FarmError {
+        FarmError::Stalled {
+            cycles,
+            queued: self.queue.len() + self.parked.len(),
+            in_flight: self.in_flight(),
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerSnapshot {
+                    name: w.name().to_string(),
+                    health: w.health(),
+                    busy: !w.is_idle(),
+                    wedged: w.is_wedged(),
+                })
+                .collect(),
+            oldest_parked: self
+                .parked
+                .iter()
+                .min_by_key(|p| p.ready_at)
+                .map(|p| (p.job.id, p.ready_at)),
+        }
     }
 
     /// Harvests finished jobs: reads back outputs, frees regions and
@@ -882,6 +1144,13 @@ impl Farm {
                 continue;
             }
             self.worker_faults += 1;
+            if matches!(kind, WorkerFaultKind::Hang { .. }) {
+                // The watchdog bit: the abort it forces (drain, reset,
+                // breaker, retry) is the crash path below — only the
+                // ledger differs.
+                self.hangs_detected += 1;
+                self.aborts += 1;
+            }
             let dead_job = self.workers[wi].take_faulted_job().map(|done| {
                 // The leak fix: a dead job's leases go back to the
                 // allocator the moment the fault is absorbed, exactly
@@ -964,6 +1233,78 @@ impl Farm {
         }
     }
 
+    /// Deadline enforcement, run each tick before dispatch when
+    /// [`LivenessConfig::early_drop`] is on:
+    ///
+    /// * queued and parked jobs that can no longer meet their deadline
+    ///   (even dispatched right now, by the kind's core-latency
+    ///   estimate) are dropped as [`JobOutcome::DeadlineMissed`]
+    ///   before they waste a worker;
+    /// * in-flight jobs already past their deadline are host-aborted:
+    ///   the worker drains its DMA, resets, and goes straight back
+    ///   into service — a deadline abort is not a worker fault, so
+    ///   the circuit breaker is untouched.
+    fn sweep_liveness(&mut self, now: u64) {
+        if !self.config.liveness.early_drop {
+            return;
+        }
+        for job in self.queue.reap_expired(|job| deadline_hopeless(job, now)) {
+            self.drop_deadline_missed(job, 0, now, now);
+        }
+        let mut i = 0;
+        while i < self.parked.len() {
+            if !deadline_hopeless(&self.parked[i].job, now) {
+                i += 1;
+                continue;
+            }
+            let ParkedJob { job, .. } = self.parked.remove(i);
+            let worker = job.avoid_worker.unwrap_or(0);
+            self.drop_deadline_missed(job, worker, now, now);
+        }
+        for wi in 0..self.workers.len() {
+            let overdue = self.workers[wi]
+                .active
+                .as_ref()
+                .and_then(|a| a.job.deadline)
+                .is_some_and(|d| now > d);
+            if !overdue || self.workers[wi].ocp.fault().is_some() {
+                // A faulted worker's job is the fault path's to settle.
+                continue;
+            }
+            let Some(done) = self.workers[wi].abort_active(&mut self.bus) else {
+                continue;
+            };
+            self.aborts += 1;
+            for region in [done.regions.prog, done.regions.input, done.regions.output] {
+                self.alloc.free(region).expect("regions leased at dispatch");
+            }
+            let mut job = done.job;
+            job.attempts += 1;
+            self.drop_deadline_missed(job, wi, done.started_at, now);
+        }
+    }
+
+    /// Records a deadline miss (empty output — the job was dropped or
+    /// aborted, never finished).
+    fn drop_deadline_missed(&mut self, job: PendingJob, worker: usize, started_at: u64, now: u64) {
+        self.deadline_drops += 1;
+        self.completed.push(JobRecord {
+            id: job.id,
+            kind: job.kind,
+            worker,
+            outcome: JobOutcome::DeadlineMissed {
+                attempts: job.attempts,
+            },
+            submitted_at: job.submitted_at,
+            started_at,
+            completed_at: now,
+            swapped: false,
+            contention_cycles: 0,
+            deadline: job.deadline,
+            output: Vec::new(),
+        });
+    }
+
     /// Fails every queued and parked job whose kind lost its last
     /// live worker — recorded, not stranded.
     fn reap_hopeless_jobs(&mut self, now: u64) {
@@ -1009,4 +1350,14 @@ impl Farm {
             output: Vec::new(),
         });
     }
+}
+
+/// Whether `job` can no longer meet its deadline even if dispatched
+/// this very tick — by the kind's (optimistic, core-latency-only)
+/// service estimate. Optimism is deliberate: a hopeful job is given
+/// the benefit of the doubt and only dropped once the math is
+/// unarguable.
+fn deadline_hopeless(job: &PendingJob, now: u64) -> bool {
+    job.deadline
+        .is_some_and(|d| now > d.saturating_sub(job.kind.core_latency_estimate()))
 }

@@ -123,9 +123,22 @@ pub struct JobSpec {
     /// Larger runs first among equally-old jobs, for policies that look
     /// at it (0 = normal).
     pub priority: u8,
-    /// Absolute-cycle deadline, if any (reported as missed/met in the
-    /// record; the farm never drops late jobs).
+    /// Absolute-cycle deadline, if any. Always reported as missed/met
+    /// in the record; with [`LivenessConfig::early_drop`] enabled the
+    /// farm additionally drops jobs that provably cannot meet it and
+    /// aborts in-flight jobs once it passes
+    /// ([`JobOutcome::DeadlineMissed`]).
+    ///
+    /// [`LivenessConfig::early_drop`]: crate::farm::LivenessConfig::early_drop
     pub deadline: Option<u64>,
+    /// Per-job watchdog budget in cycles: the longest window without
+    /// observable progress (a retired instruction or a transferred
+    /// word) the job is allowed before the worker's watchdog aborts it
+    /// with [`WorkerFaultKind::Hang`]. `None` falls back to the farm's
+    /// [`LivenessConfig::default_cycles_budget`].
+    ///
+    /// [`LivenessConfig::default_cycles_budget`]: crate::farm::LivenessConfig::default_cycles_budget
+    pub cycles_budget: Option<u64>,
     /// Client-supplied microcode replacing the farm's canonical
     /// program for this job, if any.
     ///
@@ -149,6 +162,7 @@ impl JobSpec {
             input,
             priority: 0,
             deadline: None,
+            cycles_budget: None,
             microcode: None,
         }
     }
@@ -164,6 +178,13 @@ impl JobSpec {
     #[must_use]
     pub fn with_deadline(mut self, deadline: u64) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a per-job watchdog budget (see [`JobSpec::cycles_budget`]).
+    #[must_use]
+    pub fn with_cycles_budget(mut self, budget: u64) -> Self {
+        self.cycles_budget = Some(budget);
         self
     }
 
@@ -203,7 +224,8 @@ impl fmt::Display for FailReason {
 ///
 /// An admitted job always ends in exactly one of these — the farm
 /// never silently drops work, which is what makes the report's
-/// `admitted = completed + failed_permanent` reconciliation possible.
+/// `admitted = completed + failed_permanent + deadline_missed + shed`
+/// reconciliation possible.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobOutcome {
     /// The job ran to completion and its output was read back.
@@ -218,6 +240,16 @@ pub enum JobOutcome {
         /// Why the farm gave up.
         reason: FailReason,
     },
+    /// The liveness sweep dropped the job: its deadline passed while
+    /// in flight (the run was aborted) or became provably unmeetable
+    /// while queued/parked (the run was never started).
+    DeadlineMissed {
+        /// Dispatch attempts consumed (0 = dropped before any run).
+        attempts: u32,
+    },
+    /// Overload shedding evicted the job from a full queue in favor of
+    /// higher-priority work; it never reached a worker.
+    ShedOverload,
 }
 
 impl JobOutcome {
@@ -231,9 +263,10 @@ impl JobOutcome {
     #[must_use]
     pub fn attempts(&self) -> u32 {
         match self {
-            JobOutcome::Completed { attempts } | JobOutcome::FailedPermanent { attempts, .. } => {
-                *attempts
-            }
+            JobOutcome::Completed { attempts }
+            | JobOutcome::FailedPermanent { attempts, .. }
+            | JobOutcome::DeadlineMissed { attempts } => *attempts,
+            JobOutcome::ShedOverload => 0,
         }
     }
 }

@@ -49,9 +49,27 @@
 //! (`Healthy → Degraded → Quarantined`) behind a faults-in-window
 //! circuit breaker with optional cooldown probation — see
 //! [`FaultConfig`]. Every admitted job ends in a [`JobRecord`] whose
-//! [`JobOutcome`] is either `Completed { attempts }` or
-//! `FailedPermanent { reason }`, so
-//! `admitted = completed + failed_permanent` always reconciles.
+//! [`JobOutcome`] is `Completed { attempts }`,
+//! `FailedPermanent { reason }`, `DeadlineMissed { attempts }` or
+//! `ShedOverload`, so `admitted = completed + failed_permanent +
+//! deadline_missed + shed` always reconciles.
+//!
+//! ## Liveness
+//!
+//! Crashes are loud; hangs are silent. [`LivenessConfig`] arms the
+//! quiet-failure defenses: per-job no-progress *watchdogs*
+//! ([`JobSpec::cycles_budget`] or a pool default) that abort a wedged
+//! worker and route the job through the same retry machinery as a
+//! crash ([`WorkerFaultKind::Hang`]); *deadline enforcement* that
+//! drops hopeless queued work and host-aborts overdue in-flight work;
+//! and graceful *overload shedding* past a queue watermark
+//! ([`SubmitError::ShedOverload`]), with priority classes ordering
+//! the queue and full-queue priority eviction. Two chaos seams —
+//! wedged handshakes and slowed RACs — stall instead of crashing to
+//! exercise exactly these paths. Watchdog expiries and deadlines
+//! register as event horizons, so fast-forward stays bit-exact.
+//!
+//! [`JobSpec::cycles_budget`]: crate::job::JobSpec::cycles_budget
 //!
 //! ## Example
 //!
@@ -92,7 +110,7 @@ pub mod stats;
 pub mod worker;
 
 pub use chaos::{ChaosConfig, ChaosStats, FaultPlan};
-pub use farm::{Farm, FarmConfig, FarmError, FaultConfig};
+pub use farm::{Farm, FarmConfig, FarmError, FaultConfig, LivenessConfig, WorkerSnapshot};
 pub use job::{FailReason, JobId, JobKind, JobOutcome, JobRecord, JobSpec};
 pub use policy::{
     Assignment, DprAffinityPolicy, FifoPolicy, RoundRobinPolicy, SchedPolicy, WorkerView,

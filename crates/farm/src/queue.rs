@@ -64,6 +64,16 @@ pub enum SubmitError {
         /// Instructions admissible.
         limit: usize,
     },
+    /// Overload shedding: the queue is past its load-shedding
+    /// watermark and the job's priority class is below the floor, so
+    /// admission is refused to keep headroom for important work.
+    /// Back off, or resubmit with a higher priority.
+    ShedOverload {
+        /// Jobs queued at the moment of rejection.
+        queued: usize,
+        /// The configured shedding watermark.
+        watermark: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -97,6 +107,11 @@ impl fmt::Display for SubmitError {
                 "custom microcode has {len} instructions, more than the {limit} the farm \
                  can place (one slot is reserved for a DPR `rcfg` prepend)"
             ),
+            SubmitError::ShedOverload { queued, watermark } => write!(
+                f,
+                "overloaded: {queued} jobs queued (shedding watermark {watermark}), \
+                 low-priority admission refused"
+            ),
         }
     }
 }
@@ -118,6 +133,9 @@ pub struct PendingJob {
     pub priority: u8,
     /// Absolute-cycle deadline, if any.
     pub deadline: Option<u64>,
+    /// Per-job watchdog budget, if any (see
+    /// [`JobSpec::cycles_budget`]).
+    pub cycles_budget: Option<u64>,
     /// Dispatch attempts already consumed by this job (0 on first
     /// admission; bumped each time a worker fault hands it back).
     pub attempts: u32,
@@ -138,16 +156,35 @@ impl PendingJob {
     }
 }
 
-/// A bounded FIFO of admitted jobs.
+/// A bounded, priority-ordered queue of admitted jobs.
 ///
-/// Policies see the queue in submission order; removal by index keeps
+/// Jobs are kept sorted by priority class (higher first), stable by
+/// arrival within a class — an all-default-priority workload is a pure
+/// FIFO. Policies see the queue in that order; removal by index keeps
 /// out-of-order dispatch (e.g. DPR-affinity batching) cheap.
+///
+/// With an overload policy configured
+/// ([`SubmitQueue::set_overload_policy`]) the queue degrades
+/// gracefully instead of bouncing everything at capacity: past the
+/// watermark, below-floor submissions are refused with
+/// [`SubmitError::ShedOverload`], and a *full* queue lets a
+/// higher-priority submission evict the youngest lowest-class queued
+/// job (never a retry) — the farm drains the evictions via
+/// [`SubmitQueue::take_shed`] and records them.
 #[derive(Debug)]
 pub struct SubmitQueue {
     jobs: VecDeque<PendingJob>,
     capacity: usize,
+    /// Load-shedding watermark (`None` = shedding disabled).
+    shed_watermark: Option<usize>,
+    /// Minimum priority class admitted past the watermark.
+    shed_floor: u8,
+    /// Jobs evicted by higher-priority submissions, awaiting pickup.
+    shed_out: Vec<PendingJob>,
     /// Submissions rejected with `QueueFull`.
     rejected_full: u64,
+    /// Submissions rejected with `ShedOverload`.
+    rejected_shed: u64,
     /// Submissions rejected for any other reason.
     rejected_invalid: u64,
     /// Submissions whose custom microcode failed static verification.
@@ -169,12 +206,27 @@ impl SubmitQueue {
         Self {
             jobs: VecDeque::with_capacity(capacity),
             capacity,
+            shed_watermark: None,
+            shed_floor: 1,
+            shed_out: Vec::new(),
             rejected_full: 0,
+            rejected_shed: 0,
             rejected_invalid: 0,
             rejected_unsafe: 0,
             peak_depth: 0,
             admitted: 0,
         }
+    }
+
+    /// Configures graceful overload degradation: past `watermark`
+    /// queued jobs, submissions with priority below `floor` are
+    /// refused with [`SubmitError::ShedOverload`], and a full queue
+    /// may evict a strictly-lower-priority queued job in favor of a
+    /// new one. `None` disables shedding (the default): the queue then
+    /// answers plain [`SubmitError::QueueFull`] at capacity.
+    pub fn set_overload_policy(&mut self, watermark: Option<usize>, floor: u8) {
+        self.shed_watermark = watermark;
+        self.shed_floor = floor;
     }
 
     /// Jobs currently queued.
@@ -205,6 +257,12 @@ impl SubmitQueue {
     #[must_use]
     pub fn rejected_full(&self) -> u64 {
         self.rejected_full
+    }
+
+    /// Submissions rejected with [`SubmitError::ShedOverload`].
+    #[must_use]
+    pub fn rejected_shed(&self) -> u64 {
+        self.rejected_shed
     }
 
     /// Submissions rejected for malformed payloads or unserviceable
@@ -286,19 +344,46 @@ impl SubmitQueue {
             self.rejected_invalid += 1;
             return Err(SubmitError::NoCapableWorker { kind: spec.kind });
         }
-        if self.jobs.len() >= self.capacity {
-            self.rejected_full += 1;
-            return Err(SubmitError::QueueFull {
-                capacity: self.capacity,
-            });
+        if let Some(watermark) = self.shed_watermark {
+            if self.jobs.len() >= watermark && spec.priority < self.shed_floor {
+                self.rejected_shed += 1;
+                return Err(SubmitError::ShedOverload {
+                    queued: self.jobs.len(),
+                    watermark,
+                });
+            }
         }
-        self.jobs.push_back(PendingJob {
+        if self.jobs.len() >= self.capacity {
+            // Overload mode: a higher-priority submission may displace
+            // the youngest strictly-lower-class queued job (retries
+            // are immune — a displaced retry would turn one worker
+            // fault into a lost job).
+            let victim = self.shed_watermark.and_then(|_| {
+                self.jobs
+                    .iter()
+                    .rposition(|j| j.attempts == 0 && j.priority < spec.priority)
+            });
+            match victim {
+                Some(idx) => {
+                    let evicted = self.jobs.remove(idx).expect("rposition is in range");
+                    self.shed_out.push(evicted);
+                }
+                None => {
+                    self.rejected_full += 1;
+                    return Err(SubmitError::QueueFull {
+                        capacity: self.capacity,
+                    });
+                }
+            }
+        }
+        self.insert_by_class(PendingJob {
             id,
             kind: spec.kind,
             input_words: got,
             submitted_at: now,
             priority: spec.priority,
             deadline: spec.deadline,
+            cycles_budget: spec.cycles_budget,
             attempts: 0,
             avoid_worker: None,
             input: spec.input,
@@ -309,15 +394,54 @@ impl SubmitQueue {
         Ok(id)
     }
 
-    /// Puts a fault-bounced job back in line for another attempt.
+    /// Inserts `job` behind every queued job of its class or higher:
+    /// the queue stays sorted by priority (descending), stable by
+    /// insertion within a class.
+    fn insert_by_class(&mut self, job: PendingJob) {
+        let pos = self
+            .jobs
+            .iter()
+            .position(|j| j.priority < job.priority)
+            .unwrap_or(self.jobs.len());
+        self.jobs.insert(pos, job);
+    }
+
+    /// Puts a fault-bounced job back in line for another attempt (in
+    /// its priority class, like any insertion).
     ///
     /// Bypasses capacity: a retry is not a new admission, and bouncing
     /// an already-admitted job because fresh submissions filled the
     /// queue would turn one worker fault into a lost job. As a result
     /// `peak_depth` may briefly exceed `capacity` under heavy faulting.
     pub(crate) fn requeue(&mut self, job: PendingJob) {
-        self.jobs.push_back(job);
+        self.insert_by_class(job);
         self.peak_depth = self.peak_depth.max(self.jobs.len());
+    }
+
+    /// Drains the jobs evicted by overload shedding since the last
+    /// call, for the farm to record as
+    /// [`JobOutcome::ShedOverload`](crate::job::JobOutcome::ShedOverload).
+    pub(crate) fn take_shed(&mut self) -> Vec<PendingJob> {
+        std::mem::take(&mut self.shed_out)
+    }
+
+    /// Evicts every queued job matching `expired` (the liveness
+    /// sweep's can-no-longer-meet-its-deadline predicate), returning
+    /// the evictions for the farm to record.
+    pub(crate) fn reap_expired(
+        &mut self,
+        expired: impl Fn(&PendingJob) -> bool,
+    ) -> Vec<PendingJob> {
+        let mut dead = Vec::new();
+        self.jobs.retain(|job| {
+            if expired(job) {
+                dead.push(job.clone());
+                false
+            } else {
+                true
+            }
+        });
+        dead
     }
 
     /// Evicts every queued job whose kind no worker can serve any more
@@ -420,5 +544,83 @@ mod tests {
         assert_eq!(taken.id, JobId(1));
         let left: Vec<u64> = q.pending().iter().map(|j| j.id.0).collect();
         assert_eq!(left, vec![0, 2]);
+    }
+
+    #[test]
+    fn priority_classes_order_the_queue() {
+        let mut q = SubmitQueue::new(8);
+        for (i, prio) in [(0u64, 0u8), (1, 2), (2, 1), (3, 2), (4, 0)] {
+            q.submit(JobId(i), idct_spec().with_priority(prio), i, 1024, true)
+                .unwrap();
+        }
+        let order: Vec<u64> = q.pending().iter().map(|j| j.id.0).collect();
+        // Descending by class, stable by arrival within a class.
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn shed_watermark_refuses_low_priority_only() {
+        let mut q = SubmitQueue::new(8);
+        q.set_overload_policy(Some(2), 1);
+        q.submit(JobId(0), idct_spec(), 0, 1024, true).unwrap();
+        q.submit(JobId(1), idct_spec(), 0, 1024, true).unwrap();
+        // Past the watermark: priority 0 is below the floor.
+        assert_eq!(
+            q.submit(JobId(2), idct_spec(), 0, 1024, true),
+            Err(SubmitError::ShedOverload {
+                queued: 2,
+                watermark: 2
+            })
+        );
+        assert_eq!(q.rejected_shed(), 1);
+        // At-or-above the floor still gets in until true capacity.
+        q.submit(JobId(3), idct_spec().with_priority(1), 0, 1024, true)
+            .unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn full_queue_evicts_youngest_lowest_class_for_priority_work() {
+        let mut q = SubmitQueue::new(3);
+        q.set_overload_policy(Some(2), 0);
+        q.submit(JobId(0), idct_spec(), 0, 1024, true).unwrap();
+        q.submit(JobId(1), idct_spec(), 1, 1024, true).unwrap();
+        q.submit(JobId(2), idct_spec(), 2, 1024, true).unwrap();
+        // Full queue + higher-priority submission: the youngest
+        // priority-0 job (id 2) is displaced.
+        q.submit(JobId(3), idct_spec().with_priority(2), 3, 1024, true)
+            .unwrap();
+        let shed = q.take_shed();
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].id, JobId(2));
+        let order: Vec<u64> = q.pending().iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![3, 0, 1]);
+        // A submission with nothing strictly below it displaces
+        // nothing (eviction needs a strictly-lower class).
+        assert_eq!(
+            q.submit(JobId(4), idct_spec(), 4, 1024, true),
+            Err(SubmitError::QueueFull { capacity: 3 })
+        );
+        // Without an overload policy a full queue never evicts.
+        let mut plain = SubmitQueue::new(1);
+        plain.submit(JobId(0), idct_spec(), 0, 1024, true).unwrap();
+        assert_eq!(
+            plain.submit(JobId(1), idct_spec().with_priority(7), 0, 1024, true),
+            Err(SubmitError::QueueFull { capacity: 1 })
+        );
+        assert!(plain.take_shed().is_empty());
+    }
+
+    #[test]
+    fn reap_expired_removes_matching_jobs() {
+        let mut q = SubmitQueue::new(8);
+        for i in 0..4u64 {
+            let spec = idct_spec().with_deadline(100 + i);
+            q.submit(JobId(i), spec, 0, 1024, true).unwrap();
+        }
+        let dead = q.reap_expired(|j| j.deadline.is_some_and(|d| d < 102));
+        let dead_ids: Vec<u64> = dead.iter().map(|j| j.id.0).collect();
+        assert_eq!(dead_ids, vec![0, 1]);
+        assert_eq!(q.len(), 2);
     }
 }

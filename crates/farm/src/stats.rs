@@ -5,7 +5,7 @@ use std::fmt;
 
 use ouessant_soc::alloc::AllocStats;
 
-use crate::job::JobRecord;
+use crate::job::{JobOutcome, JobRecord};
 use crate::worker::WorkerHealth;
 
 /// Distribution summary of a cycle-count sample set (nearest-rank
@@ -102,8 +102,8 @@ pub struct FarmReport {
     pub total_cycles: u64,
     /// Jobs admitted into the queue.
     ///
-    /// At idle the books must balance:
-    /// `jobs_admitted = jobs_completed + jobs_failed_permanent`
+    /// At idle the books must balance: `jobs_admitted = jobs_completed +
+    /// jobs_failed_permanent + jobs_deadline_missed + jobs_shed`
     /// (rejected submissions never consume a queue slot and are
     /// counted separately).
     pub jobs_admitted: u64,
@@ -112,14 +112,28 @@ pub struct FarmReport {
     /// Admitted jobs the farm gave up on (retry budget exhausted or no
     /// serviceable worker left).
     pub jobs_failed_permanent: u64,
+    /// Admitted jobs dropped or aborted because their deadline became
+    /// unmeetable (`JobOutcome::DeadlineMissed`).
+    pub jobs_deadline_missed: u64,
+    /// Admitted jobs evicted from a full queue by higher-priority
+    /// admissions (`JobOutcome::ShedOverload`).
+    pub jobs_shed: u64,
     /// Worker faults absorbed (organic or injected).
     pub worker_faults: u64,
     /// Fault-bounced jobs re-enqueued for another attempt.
     pub retries: u64,
     /// Circuit-breaker trips across the pool.
     pub quarantines: u64,
+    /// Watchdog firings (no-progress budgets exhausted on workers).
+    pub hangs_detected: u64,
+    /// Workers yanked back from a hung or overdue job (watchdog plus
+    /// host-side deadline aborts).
+    pub aborts: u64,
     /// Submissions bounced with `QueueFull`.
     pub rejected_full: u64,
+    /// Submissions refused past the overload watermark
+    /// (`SubmitError::ShedOverload`).
+    pub rejected_shed: u64,
     /// Submissions bounced at validation.
     pub rejected_invalid: u64,
     /// Submissions whose custom microcode the static analyzer rejected.
@@ -167,6 +181,16 @@ pub(crate) struct FaultTally {
     pub quarantines: u64,
 }
 
+/// Pool-level liveness bookkeeping the farm feeds into the report
+/// (job-level shed/missed counts come from the records themselves).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LivenessTally {
+    /// Watchdog firings.
+    pub hangs_detected: u64,
+    /// Watchdog plus deadline aborts.
+    pub aborts: u64,
+}
+
 /// Host-side performance bookkeeping the farm feeds into the report.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct PerfTally {
@@ -182,6 +206,7 @@ impl FarmReport {
     /// Builds the aggregate report from completed-job records and the
     /// admission queue's counters.
     #[must_use]
+    #[allow(clippy::too_many_arguments)] // one arg per tally source, assembled in one place
     pub(crate) fn build(
         policy: String,
         records: &[JobRecord],
@@ -189,6 +214,7 @@ impl FarmReport {
         alloc: AllocStats,
         workers: Vec<WorkerReport>,
         faults: FaultTally,
+        liveness: LivenessTally,
         perf: PerfTally,
     ) -> Self {
         let total_cycles = perf.total_cycles;
@@ -202,6 +228,17 @@ impl FarmReport {
             .iter()
             .filter(|r| r.outcome.is_completed())
             .collect();
+        let mut failed_permanent = 0u64;
+        let mut deadline_missed = 0u64;
+        let mut shed = 0u64;
+        for r in records {
+            match r.outcome {
+                JobOutcome::Completed { .. } => {}
+                JobOutcome::FailedPermanent { .. } => failed_permanent += 1,
+                JobOutcome::DeadlineMissed { .. } => deadline_missed += 1,
+                JobOutcome::ShedOverload => shed += 1,
+            }
+        }
         let queue_wait = LatencyStats::from_samples(done.iter().map(|r| r.queue_wait()).collect());
         let service = LatencyStats::from_samples(done.iter().map(|r| r.service_cycles()).collect());
         let latency = LatencyStats::from_samples(done.iter().map(|r| r.latency()).collect());
@@ -224,11 +261,16 @@ impl FarmReport {
             total_cycles,
             jobs_admitted: queue.admitted(),
             jobs_completed: done.len() as u64,
-            jobs_failed_permanent: (records.len() - done.len()) as u64,
+            jobs_failed_permanent: failed_permanent,
+            jobs_deadline_missed: deadline_missed,
+            jobs_shed: shed,
             worker_faults: faults.worker_faults,
             retries: faults.retries,
             quarantines: faults.quarantines,
+            hangs_detected: liveness.hangs_detected,
+            aborts: liveness.aborts,
             rejected_full,
+            rejected_shed: queue.rejected_shed(),
             rejected_invalid,
             rejected_unsafe,
             queue_peak_depth,
@@ -269,12 +311,16 @@ impl fmt::Display for FarmReport {
         writeln!(f, "── farm report ({} policy) ──", self.policy)?;
         writeln!(
             f,
-            "jobs: {} admitted, {} completed, {} failed permanently, {} rejected (queue-full), \
-             {} rejected (invalid), {} rejected (unsafe microcode)",
+            "jobs: {} admitted, {} completed, {} failed permanently, {} deadline-missed, \
+             {} shed, {} rejected (queue-full), {} rejected (overload), {} rejected (invalid), \
+             {} rejected (unsafe microcode)",
             self.jobs_admitted,
             self.jobs_completed,
             self.jobs_failed_permanent,
+            self.jobs_deadline_missed,
+            self.jobs_shed,
             self.rejected_full,
+            self.rejected_shed,
             self.rejected_invalid,
             self.rejected_unsafe
         )?;
@@ -283,6 +329,13 @@ impl fmt::Display for FarmReport {
                 f,
                 "faults: {} worker faults absorbed, {} retries, {} quarantines",
                 self.worker_faults, self.retries, self.quarantines
+            )?;
+        }
+        if self.hangs_detected > 0 || self.aborts > 0 {
+            writeln!(
+                f,
+                "liveness: {} hangs detected, {} aborts",
+                self.hangs_detected, self.aborts
             )?;
         }
         write!(f, "kinds:")?;

@@ -80,6 +80,13 @@ pub enum WorkerFaultKind {
         /// The configuration slot whose load failed.
         slot: u16,
     },
+    /// The worker's watchdog bit: the job made no observable progress
+    /// for a whole cycle budget (wedged handshake, stalled RAC, or a
+    /// runaway data-dependent loop) and was aborted.
+    Hang {
+        /// The exhausted no-progress budget, in cycles.
+        budget: u64,
+    },
 }
 
 impl WorkerFaultKind {
@@ -88,6 +95,7 @@ impl WorkerFaultKind {
         match error {
             ExecError::Bus(e) => WorkerFaultKind::Bus(e.clone()),
             ExecError::Reconfig { slot, .. } => WorkerFaultKind::PoisonedBitstream { slot: *slot },
+            ExecError::Hang { budget } => WorkerFaultKind::Hang { budget: *budget },
             other => WorkerFaultKind::Controller(other.clone()),
         }
     }
@@ -101,6 +109,22 @@ impl fmt::Display for WorkerFaultKind {
             WorkerFaultKind::PoisonedBitstream { slot } => {
                 write!(f, "poisoned bitstream for configuration {slot}")
             }
+            WorkerFaultKind::Hang { budget } => {
+                write!(
+                    f,
+                    "hang: watchdog bit after {budget} cycles without progress"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkerFaultKind {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkerFaultKind::Controller(e) => Some(e),
+            WorkerFaultKind::Bus(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -497,6 +521,16 @@ impl Worker {
             .expect("program length is validated");
         regs.start();
 
+        // Arm (or disarm) the hang watchdog for this job. The farm has
+        // already folded the pool default into `job.cycles_budget`; the
+        // budget must absorb a worst-case DPR bitstream load — `rcfg`
+        // is a legitimate progress-free window the watchdog cannot see
+        // inside.
+        match job.cycles_budget {
+            Some(budget) => self.ocp.arm_watchdog(budget),
+            None => self.ocp.disarm_watchdog(),
+        }
+
         let output_words = job.kind.output_words(job.input_words);
         self.active = Some(ActiveJob {
             started_at: now,
@@ -581,6 +615,34 @@ impl Worker {
     /// Unlike [`Worker::note_completion`], does not count a served job.
     pub(crate) fn take_faulted_job(&mut self) -> Option<ActiveJob> {
         self.active.take()
+    }
+
+    /// Whether the controller FSM is wedged (frozen by the silent-hang
+    /// chaos seam) — surfaced in stall diagnostics.
+    #[must_use]
+    pub fn is_wedged(&self) -> bool {
+        self.ocp.is_wedged()
+    }
+
+    /// Host-side cancel of the in-flight job (deadline enforcement):
+    /// takes the job off the worker and drives [`Ocp::abort`]. Not a
+    /// *worker* fault — the circuit breaker is untouched; a healthy
+    /// worker aborted for a late job goes straight back into service.
+    ///
+    /// If the abort cannot finish immediately (a DMA burst is still in
+    /// flight) the worker drains it through the normal recovery path
+    /// and is unschedulable until [`Worker::advance_health`] completes
+    /// it.
+    pub(crate) fn abort_active(&mut self, bus: &mut Bus) -> Option<ActiveJob> {
+        let done = self.active.take()?;
+        if self.ocp.abort(bus) {
+            // Clean immediate abort: the RAC slot was reset to
+            // configuration 0, mirror it.
+            self.loaded = 0;
+        } else {
+            self.begin_recovery();
+        }
+        Some(done)
     }
 
     /// Counts one fault against the circuit breaker at cycle `now`.

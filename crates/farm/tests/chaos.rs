@@ -139,6 +139,13 @@ fn assert_campaign_invariants(farm: &Farm, submitted: u64, baseline: &HashMap<u6
                 assert!(r.output.is_empty(), "failed jobs carry no output");
                 assert!(*attempts <= farm_max_attempts(), "budget respected");
             }
+            JobOutcome::DeadlineMissed { .. } | JobOutcome::ShedOverload => {
+                panic!(
+                    "{} reported a liveness outcome in a campaign with no deadlines or \
+                     shedding configured",
+                    r.id
+                )
+            }
         }
     }
 }
@@ -372,6 +379,9 @@ fn run_matrix_cell(policy_name: &str, seam: &str) -> u64 {
         bitstream_one_in: 0,
         alloc_one_in: 0,
         alloc_hold: 3_000,
+        wedge_one_in: 0,
+        slow_one_in: 0,
+        slow_stall: 0,
     };
     match seam {
         "controller" => config.controller_one_in = 15_000,
@@ -433,6 +443,9 @@ fn full_chaos_campaign_completes_every_retryable_job() {
         bitstream_one_in: 4_000,
         alloc_one_in: 6_000,
         alloc_hold: 3_000,
+        wedge_one_in: 0,
+        slow_one_in: 0,
+        slow_stall: 0,
     }));
     serve(&mut farm, specs);
     assert_campaign_invariants(&farm, n as u64, &baseline);

@@ -12,8 +12,8 @@
 
 use ouessant_farm::{
     ChaosConfig, ChaosStats, DprAffinityPolicy, Farm, FarmConfig, FarmError, FaultConfig,
-    FaultPlan, FifoPolicy, JobKind, JobOutcome, JobSpec, RoundRobinPolicy, SchedPolicy,
-    WorkerHealth,
+    FaultPlan, FifoPolicy, JobKind, JobOutcome, JobSpec, LivenessConfig, RoundRobinPolicy,
+    SchedPolicy, WorkerHealth,
 };
 use ouessant_isa::ProgramBuilder;
 use ouessant_sim::XorShift64;
@@ -66,11 +66,28 @@ fn workload(n: usize, seed: u64) -> Vec<JobSpec> {
         .collect()
 }
 
+/// A watchdog budget that comfortably absorbs the pool's longest
+/// legitimate progress-free window: a 60 kB DPR bitstream load is
+/// 15 000 cycles of `rcfg`, plus compute latency.
+const WATCHDOG_BUDGET: u64 = 25_000;
+
+fn liveness_watched() -> LivenessConfig {
+    LivenessConfig {
+        default_cycles_budget: Some(WATCHDOG_BUDGET),
+        ..LivenessConfig::default()
+    }
+}
+
 fn build_farm(policy_name: &str, fast_forward: bool) -> Farm {
+    build_farm_with(policy_name, fast_forward, LivenessConfig::default())
+}
+
+fn build_farm_with(policy_name: &str, fast_forward: bool, liveness: LivenessConfig) -> Farm {
     let mut farm = Farm::new(
         FarmConfig {
             queue_capacity: 512,
             faults: FAULTS,
+            liveness,
             fast_forward,
             ..FarmConfig::default()
         },
@@ -95,6 +112,11 @@ struct Fingerprint {
     worker_faults: u64,
     retries: u64,
     quarantines: u64,
+    hangs_detected: u64,
+    aborts: u64,
+    jobs_shed: u64,
+    jobs_deadline_missed: u64,
+    rejected_shed: u64,
     workers: Vec<WorkerKey>,
     chaos: Option<ChaosStats>,
 }
@@ -154,6 +176,11 @@ fn fingerprint(farm: &Farm, cycles_run: u64) -> Fingerprint {
         worker_faults: report.worker_faults,
         retries: report.retries,
         quarantines: report.quarantines,
+        hangs_detected: report.hangs_detected,
+        aborts: report.aborts,
+        jobs_shed: report.jobs_shed,
+        jobs_deadline_missed: report.jobs_deadline_missed,
+        rejected_shed: report.rejected_shed,
         workers: farm
             .workers()
             .iter()
@@ -237,6 +264,9 @@ fn chaos_matrix_sweep_is_bit_exact() {
             bitstream_one_in: 0,
             alloc_one_in: 0,
             alloc_hold: 3_000,
+            wedge_one_in: 0,
+            slow_one_in: 0,
+            slow_stall: 0,
         };
         match seam {
             "controller" => config.controller_one_in = 15_000,
@@ -268,6 +298,9 @@ fn full_chaos_campaign_is_bit_exact() {
         bitstream_one_in: 4_000,
         alloc_one_in: 6_000,
         alloc_hold: 3_000,
+        wedge_one_in: 0,
+        slow_one_in: 0,
+        slow_stall: 0,
     };
     let fast = run_campaign("round-robin", Some(config.clone()), &specs, true);
     let slow = run_campaign("round-robin", Some(config), &specs, false);
@@ -347,6 +380,235 @@ fn stall_fires_at_identical_cycle_in_both_modes() {
     );
     assert_eq!(fast_err, slow_err, "stall snapshots diverged");
     assert_eq!(fast_fp, slow_fp, "post-stall farm state diverged");
+}
+
+fn run_liveness_campaign(
+    policy_name: &str,
+    chaos: Option<ChaosConfig>,
+    specs: &[JobSpec],
+    fast_forward: bool,
+    liveness: LivenessConfig,
+) -> Fingerprint {
+    let mut farm = build_farm_with(policy_name, fast_forward, liveness);
+    if let Some(config) = chaos {
+        farm.arm_chaos(FaultPlan::new(config));
+    }
+    for spec in specs {
+        farm.submit(spec.clone())
+            .expect("queue sized for the whole workload");
+    }
+    let cycles = farm
+        .run_until_idle(400_000_000)
+        .expect("campaign must drain");
+    if !fast_forward {
+        assert_eq!(farm.skipped_cycles(), 0, "single-stepping never leaps");
+    }
+    fingerprint(&farm, cycles)
+}
+
+/// The 2-stall-seam × 3-policy sweep: wedged handshakes and slowed
+/// RACs are *silent* — only the watchdog horizon makes them
+/// observable — so this is the sharpest test of the liveness layer's
+/// bit-exactness claim: a hang inside a skipped window must fire the
+/// watchdog at the identical cycle in both stepping modes.
+#[test]
+fn hang_seam_sweep_is_bit_exact() {
+    let specs = workload(48, WORKLOAD_SEED);
+    for seam in ["wedge", "slow"] {
+        let mut config = ChaosConfig {
+            seed: 0x4A46_0CEA ^ seam.len() as u64,
+            controller_one_in: 0,
+            bus_one_in: 0,
+            bitstream_one_in: 0,
+            alloc_one_in: 0,
+            alloc_hold: 0,
+            wedge_one_in: 0,
+            slow_one_in: 0,
+            slow_stall: 0,
+        };
+        match seam {
+            "wedge" => config.wedge_one_in = 6_000,
+            "slow" => {
+                config.slow_one_in = 1_500;
+                // Longer than the watchdog budget: every stall that
+                // outlives the budget must surface as a hang.
+                config.slow_stall = 30_000;
+            }
+            other => panic!("unknown seam {other}"),
+        }
+        let mut fired = 0;
+        let mut detected = 0;
+        for policy_name in ["fifo", "round-robin", "dpr-affinity"] {
+            let fast = run_liveness_campaign(
+                policy_name,
+                Some(config.clone()),
+                &specs,
+                true,
+                liveness_watched(),
+            );
+            let slow = run_liveness_campaign(
+                policy_name,
+                Some(config.clone()),
+                &specs,
+                false,
+                liveness_watched(),
+            );
+            assert_eq!(
+                fast, slow,
+                "hang campaign diverged between modes ({seam}, {policy_name})"
+            );
+            let stats = fast.chaos.expect("campaign was armed");
+            fired += stats.wedges + stats.rac_stalls;
+            detected += fast.hangs_detected;
+        }
+        assert!(fired > 0, "the {seam} seam never fired");
+        assert!(detected > 0, "no {seam} ever tripped a watchdog");
+    }
+}
+
+/// Deterministic single-wedge check: the same wedge, injected at the
+/// same cycle in both farms, must make the watchdog bite at the
+/// identical simulated cycle whether that cycle is single-stepped or
+/// sits deep inside a fast-forward window.
+#[test]
+fn watchdog_fires_at_identical_cycle_in_both_modes() {
+    let specs = workload(6, WORKLOAD_SEED);
+    let mut fps = Vec::new();
+    for fast_forward in [true, false] {
+        let mut farm = build_farm_with("fifo", fast_forward, liveness_watched());
+        for spec in &specs {
+            farm.submit(spec.clone()).unwrap();
+        }
+        // Line both farms up at the same cycle with work in flight,
+        // then freeze the DFT worker's controller mid-job.
+        for _ in 0..100 {
+            farm.tick();
+        }
+        assert!(
+            !farm.workers()[1].is_idle(),
+            "the DFT worker must be mid-job at cycle 100"
+        );
+        farm.inject_worker_wedge(1);
+        assert!(farm.workers()[1].is_wedged(), "wedge must land");
+        let cycles = farm.run_until_idle(10_000_000).expect("must drain");
+        assert_eq!(farm.hangs_detected(), 1, "exactly one watchdog firing");
+        assert_eq!(farm.aborts(), 1);
+        fps.push(fingerprint(&farm, cycles));
+    }
+    assert_eq!(
+        fps[0], fps[1],
+        "watchdog timeline diverged between stepping modes"
+    );
+    // The wedged job must have been retried to completion elsewhere.
+    assert!(
+        fps[0]
+            .records
+            .iter()
+            .all(|r| matches!(r.outcome, JobOutcome::Completed { .. })),
+        "every job completes after the hang retry"
+    );
+    assert!(
+        fps[0]
+            .records
+            .iter()
+            .any(|r| matches!(r.outcome, JobOutcome::Completed { attempts } if attempts == 2)),
+        "the wedged job consumed a retry"
+    );
+}
+
+/// The acceptance campaign: 240 jobs, both stall seams armed at the
+/// `ChaosConfig::hang` preset rates, watchdogs and deadline
+/// enforcement on. Invariants:
+///
+/// * zero stranded jobs — every admitted job ends in a record;
+/// * zero leaked leases — the shared-memory ledger drains to zero;
+/// * every completed job's output is bit-exact against a fault-free
+///   baseline, hangs and retries notwithstanding; every other job is
+///   accounted as `DeadlineMissed` or honestly exhausted its retries;
+/// * the whole run is fingerprint-identical between single-stepping
+///   and fast-forward.
+#[test]
+fn hang_campaign_acceptance() {
+    // Every 8th job carries a deadline far too tight for its queue
+    // position, guaranteeing the early-drop path fires; the rest are
+    // free to take as long as chaos makes them.
+    let specs: Vec<JobSpec> = workload(240, WORKLOAD_SEED)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if i % 8 == 0 {
+                s.with_deadline(50_000)
+            } else {
+                s
+            }
+        })
+        .collect();
+    let liveness = LivenessConfig {
+        default_cycles_budget: Some(WATCHDOG_BUDGET),
+        early_drop: true,
+        ..LivenessConfig::default()
+    };
+
+    // Fault-free baseline: no chaos, no enforcement — all 240 complete.
+    let baseline = run_liveness_campaign("round-robin", None, &specs, true, liveness_watched());
+    let baseline_outputs: std::collections::HashMap<u64, &Vec<u32>> =
+        baseline.records.iter().map(|r| (r.id, &r.output)).collect();
+    assert_eq!(
+        baseline.records.len(),
+        240,
+        "baseline must serve everything"
+    );
+
+    let config = ChaosConfig::hang(0x0CEA_4A46);
+    let fast = run_liveness_campaign(
+        "round-robin",
+        Some(config.clone()),
+        &specs,
+        true,
+        liveness.clone(),
+    );
+    let slow = run_liveness_campaign("round-robin", Some(config), &specs, false, liveness);
+    assert_eq!(fast, slow, "acceptance campaign diverged between modes");
+
+    let stats = fast.chaos.expect("campaign was armed");
+    assert!(
+        stats.wedges + stats.rac_stalls > 0,
+        "the stall seams never fired: {stats:?}"
+    );
+    assert!(fast.hangs_detected > 0, "no hang was ever detected");
+    assert_eq!(fast.records.len(), 240, "a job was stranded");
+    assert_eq!(fast.leased_words, 0, "a shared-memory lease leaked");
+    let mut completed = 0u64;
+    let mut missed = 0u64;
+    let mut failed = 0u64;
+    for r in &fast.records {
+        match r.outcome {
+            JobOutcome::Completed { .. } => {
+                completed += 1;
+                assert_eq!(
+                    baseline_outputs.get(&r.id).copied(),
+                    Some(&r.output),
+                    "job {} completed with a different output than the fault-free baseline",
+                    r.id
+                );
+            }
+            JobOutcome::DeadlineMissed { .. } => missed += 1,
+            JobOutcome::FailedPermanent { attempts, .. } => {
+                failed += 1;
+                assert_eq!(
+                    attempts, FAULTS.max_attempts,
+                    "a job failed without exhausting its retries"
+                );
+            }
+            JobOutcome::ShedOverload => panic!("nothing sheds without a watermark"),
+        }
+    }
+    assert_eq!(completed + missed + failed, 240, "the books must balance");
+    assert!(missed > 0, "the tight deadlines must trip early drop");
+    assert_eq!(
+        fast.jobs_deadline_missed, missed,
+        "report disagrees with the records"
+    );
 }
 
 /// The fast path must actually skip work on a compute-dominated

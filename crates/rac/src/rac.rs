@@ -180,6 +180,10 @@ pub struct RacSocket {
     inputs: Vec<SyncFifo<u32>>,
     outputs: Vec<SyncFifo<u32>>,
     busy_cycles: u64,
+    /// Injected slow-silicon stall: while nonzero the accelerator is
+    /// frozen (no ticks reach it) but reports busy, stretching the
+    /// compute latency by exactly this many cycles.
+    stall_left: u64,
 }
 
 impl fmt::Debug for dyn Rac {
@@ -212,6 +216,7 @@ impl RacSocket {
             inputs,
             outputs,
             busy_cycles: 0,
+            stall_left: 0,
         }
     }
 
@@ -288,10 +293,28 @@ impl RacSocket {
         self.rac.start(op);
     }
 
-    /// Whether the accelerator is processing.
+    /// Whether the accelerator is processing (an injected stall holds
+    /// `busy` asserted — frozen silicon still claims the handshake).
     #[must_use]
     pub fn busy(&self) -> bool {
-        self.rac.busy()
+        self.stall_left > 0 || self.rac.busy()
+    }
+
+    /// Injects a slow-compute stall: the accelerator freezes for
+    /// `cycles` ticks while still reporting busy, so whatever is
+    /// waiting on `end_op` waits that much longer. Stalls accumulate.
+    ///
+    /// This is the chaos seam for marginal silicon / thermally
+    /// throttled fabric — latency faults the FSM-crash seams cannot
+    /// model.
+    pub fn inject_stall(&mut self, cycles: u64) {
+        self.stall_left = self.stall_left.saturating_add(cycles);
+    }
+
+    /// Cycles left of injected stall.
+    #[must_use]
+    pub fn stall_left(&self) -> u64 {
+        self.stall_left
     }
 
     /// Forwards a reconfiguration request to the accelerator.
@@ -299,10 +322,16 @@ impl RacSocket {
         self.rac.reconfigure(slot)
     }
 
-    /// Advances the accelerator one clock cycle.
+    /// Advances the accelerator one clock cycle (a stalled accelerator
+    /// burns the cycle frozen: busy accounting accrues, the RAC does
+    /// not tick).
     pub fn tick(&mut self) {
-        if self.rac.busy() {
+        if self.busy() {
             self.busy_cycles += 1;
+        }
+        if self.stall_left > 0 {
+            self.stall_left -= 1;
+            return;
         }
         let mut io = RacIo {
             inputs: &mut self.inputs,
@@ -331,19 +360,31 @@ impl RacSocket {
         cycles
     }
 
-    /// Fast-forward horizon of the socket: the wrapped accelerator's
-    /// horizon (the FIFOs are passive and never constrain it).
+    /// Fast-forward horizon of the socket: the stall countdown while
+    /// one is injected (the frozen accelerator cannot change state any
+    /// earlier), otherwise the wrapped accelerator's horizon (the
+    /// FIFOs are passive and never constrain it).
     #[must_use]
     pub fn horizon(&self) -> Option<Cycle> {
+        if self.stall_left > 0 {
+            return Some(Cycle::new(self.stall_left));
+        }
         self.rac.horizon()
     }
 
     /// Bulk-applies `cycles` pure ticks: replays the per-tick
     /// busy-cycle accounting (busyness is constant across a pure
-    /// window) and forwards to the accelerator.
+    /// window) and forwards to the accelerator — unless a stall is
+    /// pending, in which case the window burns down the stall with the
+    /// RAC frozen, exactly as `cycles` real ticks would.
     pub fn advance(&mut self, cycles: Cycle) {
-        if self.rac.busy() {
+        if self.busy() {
             self.busy_cycles += cycles.count();
+        }
+        if self.stall_left > 0 {
+            debug_assert!(cycles.count() < self.stall_left, "advanced past the stall");
+            self.stall_left -= cycles.count();
+            return;
         }
         self.rac.advance(cycles);
     }
@@ -358,6 +399,7 @@ impl RacSocket {
             f.clear();
         }
         self.busy_cycles = 0;
+        self.stall_left = 0;
     }
 
     /// Total cycles spent with `busy()` asserted.

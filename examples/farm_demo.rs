@@ -8,21 +8,32 @@
 //! scheduling policies and every output is checked against the host
 //! golden model.
 //!
-//! The run ends with a chaos campaign: the same workload replayed on a
-//! redundant pool while a seeded fault plan kills controllers, faults
-//! DMA bursts, poisons bitstreams and squats on shared memory — the
-//! farm quarantines, retries and keeps serving. Pass `--chaos-seed N`
-//! to replay a specific campaign (any failure is reproducible from its
-//! seed alone).
+//! The run ends with three robustness campaigns on a redundant pool:
 //!
-//! Run with: `cargo run --release --example farm_demo [--chaos-seed N]`
+//! * a *chaos* campaign — a seeded fault plan kills controllers,
+//!   faults DMA bursts, poisons bitstreams and squats on shared
+//!   memory; the farm quarantines, retries and keeps serving;
+//! * a *hang* campaign — the stall seams wedge handshakes and slow
+//!   RACs instead of crashing; per-job watchdogs abort the silent
+//!   hangs and deadlines drop what can no longer be served in time;
+//! * an *overload* experiment — the client submits far past queue
+//!   capacity with mixed priorities and the farm sheds low-priority
+//!   work gracefully instead of wedging.
+//!
+//! Pass `--chaos-seed N` / `--hang-seed N` to replay a specific
+//! campaign (any failure is reproducible from its seed alone) and
+//! `--deadline N` to tighten or relax the hang campaign's per-job
+//! deadline.
+//!
+//! Run with: `cargo run --release --example farm_demo
+//! [--chaos-seed N] [--hang-seed N] [--deadline N]`
 
 use std::collections::HashMap;
 use std::error::Error;
 
 use ouessant_farm::{
     ChaosConfig, DprAffinityPolicy, Farm, FarmConfig, FaultConfig, FaultPlan, FifoPolicy, JobId,
-    JobKind, JobOutcome, JobSpec, RoundRobinPolicy, SchedPolicy, SubmitError,
+    JobKind, JobOutcome, JobSpec, LivenessConfig, RoundRobinPolicy, SchedPolicy, SubmitError,
 };
 use ouessant_isa::ProgramBuilder;
 use ouessant_sim::XorShift64;
@@ -201,7 +212,7 @@ fn admission_experiment() -> Result<(), Box<dyn Error>> {
 /// A four-worker pool with at least two workers per kind, so a worker
 /// death never makes a kind unserviceable — the shape fault-tolerant
 /// serving wants.
-fn redundant_farm(policy: Box<dyn SchedPolicy>) -> Farm {
+fn redundant_farm(policy: Box<dyn SchedPolicy>, liveness: LivenessConfig) -> Farm {
     let mut farm = Farm::new(
         FarmConfig {
             queue_capacity: 32,
@@ -210,6 +221,7 @@ fn redundant_farm(policy: Box<dyn SchedPolicy>) -> Farm {
                 quarantine_cooldown: Some(60_000),
                 ..FaultConfig::default()
             },
+            liveness,
             ..FarmConfig::default()
         },
         policy,
@@ -227,7 +239,7 @@ fn serve_redundant(
     jobs: &[JobSpec],
     chaos: Option<FaultPlan>,
 ) -> Result<ouessant_farm::FarmReport, Box<dyn Error>> {
-    let mut farm = redundant_farm(Box::new(RoundRobinPolicy::new()));
+    let mut farm = redundant_farm(Box::new(RoundRobinPolicy::new()), LivenessConfig::default());
     if let Some(plan) = chaos {
         farm.arm_chaos(plan);
     }
@@ -307,25 +319,203 @@ fn chaos_experiment(seed: u64) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// Parses `--chaos-seed N` (decimal or 0x-hex) from the command line.
-fn chaos_seed_arg() -> Result<u64, Box<dyn Error>> {
-    let mut args = std::env::args().skip(1);
-    match args.next() {
-        Some(arg) if arg == "--chaos-seed" => {
-            let value = args.next().ok_or("--chaos-seed needs a value")?;
-            match value.strip_prefix("0x") {
-                Some(hex) => u64::from_str_radix(hex, 16),
-                None => value.parse(),
+/// The hang campaign: the same workload on the redundant pool, but
+/// under the *stall* seams — wedged handshakes and slowed RACs that
+/// make no progress instead of crashing. Watchdogs abort the silent
+/// hangs (routed through the same retry machinery as crashes) and the
+/// per-job deadline drops work that can no longer be served in time.
+fn liveness_experiment(hang_seed: u64, deadline: u64) -> Result<(), Box<dyn Error>> {
+    println!(
+        "── hang campaign (seed {hang_seed:#x}, 25k-cycle watchdogs, \
+         {deadline}-cycle deadlines) ──"
+    );
+    let mut farm = redundant_farm(
+        Box::new(RoundRobinPolicy::new()),
+        LivenessConfig {
+            default_cycles_budget: Some(25_000),
+            early_drop: true,
+            ..LivenessConfig::default()
+        },
+    );
+    farm.arm_chaos(FaultPlan::new(ChaosConfig::hang(hang_seed)));
+
+    let mut golden: HashMap<JobId, Vec<u32>> = HashMap::new();
+    for spec in workload(0xDA7E_2016) {
+        let spec = spec.with_deadline(deadline);
+        loop {
+            match farm.submit(spec.clone()) {
+                Ok(id) => {
+                    golden.insert(id, spec.kind.expected_output(&spec.input));
+                    break;
+                }
+                Err(SubmitError::QueueFull { .. }) => {
+                    for _ in 0..200 {
+                        farm.tick();
+                    }
+                }
+                Err(e) => return Err(e.into()),
             }
-            .map_err(|e| format!("bad --chaos-seed {value}: {e}").into())
         }
-        Some(arg) => Err(format!("unknown argument {arg} (supported: --chaos-seed N)").into()),
-        None => Ok(0xC4A0_5EED),
     }
+    farm.run_until_idle(1_000_000_000)?;
+
+    for record in farm.records() {
+        if let JobOutcome::Completed { .. } = record.outcome {
+            assert_eq!(
+                &record.output,
+                golden.get(&record.id).expect("recorded job was submitted"),
+                "a job that survived the hangs must still be bit-exact"
+            );
+        }
+    }
+    let report = farm.report();
+    let stats = farm.chaos_stats().expect("chaos was armed");
+    println!(
+        "  seams fired: {} wedged handshakes, {} slowed RACs",
+        stats.wedges, stats.rac_stalls
+    );
+    println!(
+        "  liveness:    {} hangs caught by watchdogs, {} host aborts, {} retries",
+        report.hangs_detected, report.aborts, report.retries
+    );
+    println!(
+        "  outcome:     {} completed bit-exact, {} deadline-missed, {} failed",
+        report.jobs_completed, report.jobs_deadline_missed, report.jobs_failed_permanent
+    );
+    assert_eq!(
+        report.jobs_admitted,
+        report.jobs_completed + report.jobs_failed_permanent + report.jobs_deadline_missed,
+        "the books must balance"
+    );
+    assert_eq!(report.alloc.words_in_use, 0, "no leaked bank leases");
+    println!("  → no stranded jobs, no leaked leases; every hang aborted or dropped\n");
+    Ok(())
+}
+
+/// The overload experiment: a burst far past queue capacity with mixed
+/// priority classes. Past the watermark the farm refuses below-floor
+/// work at admission, and when the queue is full an urgent submission
+/// evicts the youngest low-priority job — so the pool degrades by
+/// shedding exactly the least important work instead of wedging.
+fn overload_experiment() -> Result<(), Box<dyn Error>> {
+    const BURST: usize = 90;
+    println!(
+        "── overload shedding ({BURST}-job burst, queue capacity 16, watermark 12, floor 1) ──"
+    );
+    for policy in [
+        Box::new(FifoPolicy::new()) as Box<dyn SchedPolicy>,
+        Box::new(RoundRobinPolicy::new()),
+        Box::new(DprAffinityPolicy::new()),
+    ] {
+        let mut farm = Farm::new(
+            FarmConfig {
+                queue_capacity: 16,
+                liveness: LivenessConfig {
+                    early_drop: true,
+                    shed_watermark: Some(12),
+                    shed_floor: 1,
+                    ..LivenessConfig::default()
+                },
+                ..FarmConfig::default()
+            },
+            policy,
+        );
+        farm.add_worker(IDCT);
+        farm.add_worker(DFT64);
+        farm.add_dpr_worker(&[(IDCT, 40_000), (COPY3, 40_000)]);
+
+        let mut rng = XorShift64::new(0x0E62_10AD);
+        let mut refused = 0usize;
+        for i in 0..BURST {
+            let kind = match i % 6 {
+                0 | 3 | 5 => IDCT,
+                1 | 4 => DFT64,
+                _ => COPY3,
+            };
+            let words = kind.required_input_words().unwrap_or(96);
+            let payload: Vec<u32> = (0..words)
+                .map(|_| rng.gen_range_i32(-1024..1024) as u32)
+                .collect();
+            let spec = JobSpec::new(kind, payload)
+                .with_priority((i % 3) as u8)
+                .with_deadline(farm.now() + 120_000);
+            match farm.submit(spec) {
+                Ok(_) => {}
+                // Graceful degradation: the client is told "no" at
+                // admission instead of the job rotting in the queue.
+                Err(SubmitError::ShedOverload { .. }) | Err(SubmitError::QueueFull { .. }) => {
+                    refused += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            for _ in 0..40 {
+                farm.tick();
+            }
+        }
+        farm.run_until_idle(1_000_000_000)?;
+        let report = farm.report();
+        println!(
+            "  {:<14} {:>3} served   {:>2} shed (evicted)   {:>2} refused at admission   \
+             {:>2} deadline-missed",
+            report.policy,
+            report.jobs_completed,
+            report.jobs_shed,
+            refused,
+            report.jobs_deadline_missed,
+        );
+        assert_eq!(
+            report.jobs_admitted,
+            report.jobs_completed + report.jobs_shed + report.jobs_deadline_missed,
+            "the books must balance under overload"
+        );
+        assert_eq!(report.alloc.words_in_use, 0, "no leaked bank leases");
+    }
+    println!("  → low-priority work is shed first; the pool never wedges\n");
+    Ok(())
+}
+
+/// Command-line knobs: all take decimal or 0x-hex values.
+struct DemoArgs {
+    /// Seed for the crash-seam chaos campaign.
+    chaos_seed: u64,
+    /// Seed for the stall-seam hang campaign.
+    hang_seed: u64,
+    /// Per-job absolute deadline for the hang campaign.
+    deadline: u64,
+}
+
+fn parse_args() -> Result<DemoArgs, Box<dyn Error>> {
+    let mut out = DemoArgs {
+        chaos_seed: 0xC4A0_5EED,
+        hang_seed: 0x0CEA_4A46,
+        deadline: 4_000_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let slot = match flag.as_str() {
+            "--chaos-seed" => &mut out.chaos_seed,
+            "--hang-seed" => &mut out.hang_seed,
+            "--deadline" => &mut out.deadline,
+            other => {
+                return Err(format!(
+                    "unknown argument {other} (supported: --chaos-seed N, --hang-seed N, \
+                     --deadline N)"
+                )
+                .into());
+            }
+        };
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        *slot = match value.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => value.parse(),
+        }
+        .map_err(|e| format!("bad {flag} {value}: {e}"))?;
+    }
+    Ok(out)
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let chaos_seed = chaos_seed_arg()?;
+    let args = parse_args()?;
     let jobs = workload(0xDA7E_2016);
     println!("ouessant-farm demo: {TOTAL_JOBS} mixed jobs (idct/dft64/copy×3) on a 3-OCP pool\n");
     serve(Box::new(FifoPolicy::new()), &jobs)?;
@@ -333,5 +523,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     serve(Box::new(DprAffinityPolicy::new()), &jobs)?;
     swap_experiment()?;
     admission_experiment()?;
-    chaos_experiment(chaos_seed)
+    chaos_experiment(args.chaos_seed)?;
+    liveness_experiment(args.hang_seed, args.deadline)?;
+    overload_experiment()
 }

@@ -28,8 +28,12 @@ cargo test -q --offline --workspace
 echo "==> seeded chaos sweep (fault injection, fixed seeds)"
 cargo test -q --offline -p ouessant-farm --test chaos
 
-echo "==> chaos campaign demo (fixed seed, reproducible)"
-cargo run --release --offline --example farm_demo -- --chaos-seed 0xC4A05EED >/dev/null
+echo "==> seeded hang-seam sweep (watchdogs, deadlines, shedding; zero stranded jobs or leaked leases)"
+cargo test -q --offline -p ouessant-farm --test liveness
+cargo test -q --offline -p ouessant-farm --test lockstep hang
+
+echo "==> chaos + hang campaign demo (fixed seeds, reproducible)"
+cargo run --release --offline --example farm_demo -- --chaos-seed 0xC4A05EED --hang-seed 0x0CEA4A46 >/dev/null
 
 echo "==> fast-forward benchmark smoke (bit-exactness gate)"
 bash scripts/bench.sh --smoke
